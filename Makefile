@@ -1,0 +1,23 @@
+# Convenience targets for the reproduction.
+PY ?= python
+
+.PHONY: test bench report examples all clean
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PY) -m repro report --output report.md
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f > /dev/null || exit 1; done
+	@echo "all examples ran"
+
+all: test bench report
+
+clean:
+	rm -rf .pytest_cache .hypothesis report.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,24 @@
+"""Figure 1: parameters+optimizer state vs activation memory per GPU.
+
+Regenerates the four bars (22B, 175B, 530B, 1T) against the 80 GB A100
+line, for the tensor-parallel baseline and for the present work.
+"""
+
+from repro import experiments
+
+
+def bench_report(benchmark):
+    text = benchmark(experiments.figure1_report)
+    print("\n" + text)
+
+
+def bench_data_shape(benchmark):
+    data = benchmark(experiments.figure1_data)
+    # Paper: "for all these cases, the required memory for the baseline
+    # cases is above the 80GB memory provided by an NVIDIA A100 GPU".
+    assert all(not d["fits_baseline"] for d in data.values())
+    assert all(d["fits_present"] for d in data.values())
+    # Activations dominate at the largest scales (the paper's motivation).
+    for name in ("530B", "1T"):
+        d = data[name]
+        assert d["activations_baseline_gib"] > d["weights_optimizer_gib"]

@@ -1,0 +1,34 @@
+"""Figure 7: required memory as a percentage of the tensor-parallel
+baseline, for all four models and four techniques."""
+
+from repro import experiments
+
+
+def bench_report(benchmark):
+    print("\n" + benchmark(experiments.figure7_report))
+
+
+def bench_headline_claims(benchmark):
+    data = benchmark(experiments.figure7_data)
+    for name, fr in data.items():
+        combined = fr["seq-par + selective recompute"]
+        # "together they reduce the memory required by ~5x" / "under 20%".
+        assert combined < 0.21, name
+        assert 3.5 < 1 / combined < 7, name
+        # "Individually, both techniques cut the memory requirement nearly
+        # in half."
+        assert 0.45 < fr["sequence parallelism"] < 0.70, name
+        assert 0.45 < fr["selective recompute"] < 0.70, name
+        # "only ~2x of the full activation recomputation which is at 10%".
+        assert 1.4 < combined / fr["full recompute"] < 2.6, name
+
+
+def bench_savings_converge_with_scale(benchmark):
+    """As model size increases both techniques approach similar savings
+    (Figure 7's caption)."""
+    data = benchmark(experiments.figure7_data)
+    gap_small = abs(data["22B"]["sequence parallelism"]
+                    - data["22B"]["selective recompute"])
+    gap_large = abs(data["1T"]["sequence parallelism"]
+                    - data["1T"]["selective recompute"])
+    assert gap_large < gap_small + 0.05

@@ -1,0 +1,39 @@
+"""Figure 8: per-layer forward/backward/recompute breakdown, four models
+x four schemes; the recompute-overhead-shrinks-with-scale trend."""
+
+from repro import experiments
+
+
+def bench_report(benchmark):
+    print("\n" + benchmark(experiments.figure8_report))
+
+
+def bench_overhead_shrinks_with_scale(benchmark):
+    data = benchmark(experiments.figure8_data)
+    overheads = []
+    for name in ("22B", "175B", "530B", "1T"):
+        schemes = data[name]
+        base = sum(schemes["baseline"])
+        present = sum(schemes["present work"])
+        overheads.append(present / base - 1)
+    # Paper: 4% at 22B falling to 2% at 530B/1T.
+    assert overheads[0] > overheads[2]
+    assert overheads[0] > overheads[3]
+    assert overheads[3] < 0.02
+    # Full recompute stays ~36% at the largest scales.
+    for name in ("530B", "1T"):
+        schemes = data[name]
+        full = sum(schemes["full recompute"]) / sum(schemes["baseline"]) - 1
+        assert 0.30 < full < 0.45
+
+
+def bench_recompute_component_attribution(benchmark):
+    """The recompute bar is the attention core for selective, a full
+    forward for full recomputation."""
+    data = benchmark(experiments.figure8_data)
+    for name, schemes in data.items():
+        fwd, _, _ = schemes["baseline"]
+        _, _, rec_full = schemes["full recompute"]
+        _, _, rec_sel = schemes["selective recompute"]
+        assert rec_full > 0.8 * fwd           # ~ one extra forward
+        assert rec_sel < 0.35 * rec_full      # far cheaper to rebuild

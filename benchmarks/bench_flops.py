@@ -1,0 +1,52 @@
+"""Appendix A / Section 5: FLOP equations 7-9 and the selective-recompute
+overhead claims (5as/h, 70%/65% memory saved, 2.7%/1.6% FLOPs)."""
+
+import pytest
+
+from repro import experiments
+from repro.config import PAPER_CONFIGS
+from repro.flops_model import (
+    attention_memory_factor,
+    hardware_to_model_ratio,
+    model_flops_per_iteration,
+    selective_recompute_flops_overhead,
+)
+
+
+def bench_section5_report(benchmark):
+    print("\n" + benchmark(experiments.section5_report))
+
+
+def bench_claims(benchmark):
+    def claims():
+        out = {}
+        for name in ("175B", "530B"):
+            m = PAPER_CONFIGS[name].model
+            out[name] = (attention_memory_factor(m),
+                         selective_recompute_flops_overhead(m),
+                         hardware_to_model_ratio(m))
+        return out
+
+    result = benchmark(claims)
+    factor, overhead, ratio = result["175B"]
+    assert factor == 80.0
+    assert overhead == pytest.approx(0.027, abs=0.001)
+    assert ratio == pytest.approx(1 + 2048 / (6 * 12288), abs=2e-3)
+    factor, overhead, _ = result["530B"]
+    assert factor == 64.0
+    assert overhead == pytest.approx(0.016, abs=0.001)
+
+
+def bench_model_flops_scale(benchmark):
+    def totals():
+        return {name: model_flops_per_iteration(
+                    PAPER_CONFIGS[name].model,
+                    PAPER_CONFIGS[name].training.global_batch_size)
+                for name in ("22B", "175B", "530B", "1T")}
+
+    result = benchmark(totals)
+    # Sanity: FLOPs per iteration ordering follows parameter count x batch.
+    assert result["22B"] < result["175B"] < result["530B"] < result["1T"]
+    # 175B (GPT-3), batch 64 x seq 2048 = 131k tokens: the classic
+    # "6 x params x tokens" estimate gives ~1.4e17 model FLOPs.
+    assert result["175B"] == pytest.approx(6 * 175e9 * 64 * 2048, rel=0.1)

@@ -1,0 +1,64 @@
+"""Future-work study (paper Section 7): memory fragmentation under
+recomputation, measured by replaying real tape traces through allocator
+models — first-fit-with-coalescing (compactable ideal) vs a CUDA-style
+size-binned caching allocator."""
+
+import pytest
+
+from repro.allocator import measure_fragmentation
+from repro.config import PAPER_CONFIGS
+from repro.layers import Recompute
+
+M22 = PAPER_CONFIGS["22B"].model
+
+STRATEGIES = [
+    ("baseline", False, Recompute.NONE),
+    ("sp+selective", True, Recompute.SELECTIVE),
+    ("full recompute", False, Recompute.FULL),
+]
+
+
+def bench_fragmentation_study(benchmark):
+    def run():
+        rows = {}
+        for label, sp, rc in STRATEGIES:
+            rows[label] = {
+                caching: measure_fragmentation(M22, 4, 8, sp, rc,
+                                               num_layers=4, caching=caching)
+                for caching in (False, True)
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nstrategy         allocator  live-peak  reserved-peak   frag")
+    for label, by_alloc in rows.items():
+        for caching, stats in by_alloc.items():
+            name = "caching" if caching else "first-fit"
+            print(f"{label:16s} {name:9s} {stats.peak_live_bytes/2**20:8.0f}M "
+                  f"{stats.peak_reserved_bytes/2**20:10.0f}M "
+                  f"{stats.fragmentation:7.1%}")
+
+    # The compactable ideal never fragments these traces...
+    for label, by_alloc in rows.items():
+        assert by_alloc[False].fragmentation < 0.01, label
+    # ...but the caching model strands memory under selective recompute
+    # (the exact phenomenon the paper's future work targets).
+    assert rows["sp+selective"][True].fragmentation > 0.03
+    assert rows["baseline"][True].fragmentation < 0.01
+
+
+def bench_fragmentation_grows_with_microbatches(benchmark):
+    """"memory fragmentation for large microbatches": accumulating several
+    microbatches multiplies the alloc/free churn."""
+    def run():
+        return (
+            measure_fragmentation(M22, 4, 8, True, Recompute.SELECTIVE,
+                                  num_layers=2, num_microbatches=1, caching=True),
+            measure_fragmentation(M22, 4, 8, True, Recompute.SELECTIVE,
+                                  num_layers=2, num_microbatches=3, caching=True),
+        )
+
+    one, three = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n1 microbatch: frag {one.fragmentation:.1%}; "
+          f"3 microbatches: frag {three.fragmentation:.1%}")
+    assert three.allocations > one.allocations

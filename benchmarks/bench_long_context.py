@@ -1,0 +1,66 @@
+"""Extension ablation: the long-context regime (Section 5's Eq. 6 claim
+that selective recomputation makes activation memory linear in ``s`` and
+independent of ``a``), swept with the validated models."""
+
+import pytest
+
+from repro.config import PAPER_CONFIGS
+from repro.layers.transformer import Recompute
+from repro.memory_model import per_layer_activation_bytes
+from repro.sweeps import (
+    crossover_sequence_length,
+    recompute_overhead_sweep,
+    sequence_length_sweep,
+)
+
+M175 = PAPER_CONFIGS["175B"].model
+
+
+def bench_memory_scaling_with_context(benchmark):
+    rows = benchmark(sequence_length_sweep, M175, 1, 8)
+    print(f"\n{'s':>6s} {'5as/h':>7s} {'baseline':>14s} {'sp+selective':>14s} "
+          f"{'ratio':>7s}")
+    for r in rows:
+        print(f"{r['seq_length']:6.0f} {r['attention_factor']:7.0f} "
+              f"{r['baseline']/2**20:12.0f}Mi {r['sp_selective']/2**20:12.0f}Mi "
+              f"{r['baseline']/r['sp_selective']:7.1f}x")
+    # Eq. 6: selective memory is exactly linear in s.
+    by_s = {r["seq_length"]: r["sp_selective"] for r in rows}
+    assert by_s[4096] == pytest.approx(2 * by_s[2048])
+    assert by_s[32768] == pytest.approx(16 * by_s[2048])
+    # The saving ratio grows with context (quadratic vs linear).
+    ratios = [r["baseline"] / r["sp_selective"] for r in rows]
+    assert ratios == sorted(ratios)
+
+
+def bench_head_count_independence(benchmark):
+    """Equation 6's second claim: selective-recompute memory is
+    independent of the number of attention heads."""
+    def run():
+        return [
+            per_layer_activation_bytes(M175.scaled(num_heads=a), 1, 8, True,
+                                       Recompute.SELECTIVE)
+            for a in (48, 96, 192)
+        ]
+
+    values = benchmark(run)
+    assert values[0] == values[1] == values[2]
+    # ...whereas the baseline is not.
+    baselines = [
+        per_layer_activation_bytes(M175.scaled(num_heads=a), 1, 8, True,
+                                   Recompute.NONE)
+        for a in (48, 96, 192)
+    ]
+    assert baselines[0] < baselines[1] < baselines[2]
+
+
+def bench_recompute_overhead_vs_context(benchmark):
+    rows = benchmark.pedantic(
+        recompute_overhead_sweep, args=(M175, 1, 8),
+        kwargs={"seq_lengths": (2048, 4096, 8192)}, rounds=1, iterations=1)
+    print(f"\ncrossover (5as/h = 34) at s = {crossover_sequence_length(M175)}")
+    for r in rows:
+        print(f"  s={r['seq_length']:6.0f}: selective +{r['selective_overhead']:.1%} "
+              f"vs full +{r['full_overhead']:.1%}")
+    for r in rows:
+        assert r["selective_overhead"] < r["full_overhead"] / 2

@@ -1,0 +1,57 @@
+"""Section 5's planning narrative as a bench: "it is ideal to only
+checkpoint enough activations to allow a given model-parallel
+configuration to train given the constraints of device memory"."""
+
+import pytest
+
+from repro.config import PAPER_CONFIGS
+from repro.layers.transformer import Recompute
+from repro.planner import enumerate_options, plan
+from repro.units import GIB
+
+
+def bench_planner_ladder_530b(benchmark):
+    """Shrinking the device: the chosen strategy escalates exactly along
+    the paper's ladder — nothing, selective, mixed full layers, full."""
+    cfg = PAPER_CONFIGS["530B"]
+
+    def ladder():
+        return {gb: plan(cfg, device_memory_bytes=gb * GIB, full_layer_step=3)
+                for gb in (200, 80, 54, 45, 34)}
+
+    chosen = benchmark.pedantic(ladder, rounds=1, iterations=1)
+    print()
+    for gb, option in chosen.items():
+        print(f"  {gb:4d} GB -> {option.description} "
+              f"(+{option.overhead_fraction:.1%})")
+    assert chosen[200].recompute == Recompute.NONE
+    assert chosen[80].recompute == Recompute.SELECTIVE
+    assert chosen[54].recompute == Recompute.FULL
+    assert 0 < chosen[54].recompute_num_layers < 105
+    assert chosen[45].recompute_num_layers > chosen[54].recompute_num_layers
+    # Overheads rise monotonically as memory shrinks.
+    overheads = [chosen[gb].overhead_fraction for gb in (200, 80, 54, 45, 34)]
+    assert overheads == sorted(overheads)
+
+
+def bench_all_paper_configs_choose_present_work(benchmark):
+    """At 80 GB every Table 3 configuration lands on the paper's method."""
+    def run():
+        return {name: plan(PAPER_CONFIGS[name],
+                           full_layer_step=max(1, PAPER_CONFIGS[name].model.num_layers // 8))
+                for name in ("22B", "175B", "530B", "1T")}
+
+    chosen = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, option in chosen.items():
+        assert option.sequence_parallel, name
+        assert option.recompute == Recompute.SELECTIVE, name
+        assert option.overhead_fraction < 0.06, name
+
+
+def bench_option_enumeration(benchmark):
+    options = benchmark(enumerate_options, PAPER_CONFIGS["175B"],
+                        full_layer_step=24)
+    # sorted by overhead; memory and overhead trade off monotonically for
+    # the SP+full family
+    overheads = [o.overhead_fraction for o in options]
+    assert overheads == sorted(overheads)

@@ -1,0 +1,47 @@
+"""Table 5: end-to-end iteration time (full recompute vs present work),
+throughput increase, MFU/HFU; plus the Section 6.3 data-parallel
+extension (530B x 8 -> 2240 GPUs, the paper's 54.2% MFU headline)."""
+
+import pytest
+
+from repro import experiments
+from repro.config import PAPER_CONFIGS
+from repro.perf_model import iteration_time, table5_row
+
+PAPER = {  # full s, present s, increase, MFU, HFU
+    "22B": (1.42, 1.10, 0.290, 0.415, 0.437),
+    "175B": (18.13, 13.75, 0.318, 0.514, 0.528),
+    "530B": (49.05, 37.83, 0.297, 0.560, 0.570),
+    "1T": (94.42, 71.49, 0.321, 0.563, 0.570),
+}
+
+
+def bench_table5(benchmark):
+    rows = benchmark(experiments.table5_data)
+    print("\n" + experiments.table5_report(include_dp=False))
+    for r in rows:
+        name = r["model"]
+        _, present, increase, mfu, hfu = PAPER[name]
+        # Shape: present work wins by ~30% everywhere (paper: 29.0-32.1%).
+        assert 0.25 < r["throughput_increase"] < 0.40, name
+        # Absolute times within 15% of the paper (simulated substrate).
+        assert r["present_work_s"] == pytest.approx(present, rel=0.15), name
+        assert r["mfu"] == pytest.approx(mfu, abs=0.05), name
+        assert r["hfu"] > r["mfu"]
+
+
+@pytest.mark.parametrize("name", ["22B", "175B", "530B", "1T"])
+def bench_single_config(benchmark, name):
+    row = benchmark(table5_row, PAPER_CONFIGS[name])
+    assert row.present_work_time < row.full_recompute_time
+
+
+def bench_data_parallel_extension(benchmark):
+    result = benchmark(iteration_time, PAPER_CONFIGS["530B"], data_parallel=8)
+    base = iteration_time(PAPER_CONFIGS["530B"])
+    print(f"\n530B x 8-way DP (2240 GPUs): {result.iteration_time:.2f} s "
+          f"(paper 39.15 s), MFU {result.mfu:.1%} (paper 54.2%); "
+          f"DP all-reduce {result.dp_allreduce_time:.2f} s")
+    # "increases slightly from 37.83 to 39.15 seconds ... not substantial".
+    assert result.iteration_time == pytest.approx(39.15, rel=0.10)
+    assert 0 < base.mfu - result.mfu < 0.04

@@ -1,0 +1,17 @@
+"""Benchmark harness configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark both
+times the regeneration of one paper table/figure and prints the same
+rows/series the paper reports (use ``-s`` to see them inline; they are
+also summarized in EXPERIMENTS.md).
+"""
+
+import sys
+from pathlib import Path
+
+# Make src/ and tests/ helpers importable when benchmarks run standalone.
+ROOT = Path(__file__).resolve().parent.parent
+for sub in ("src",):
+    path = str(ROOT / sub)
+    if path not in sys.path:
+        sys.path.insert(0, path)

@@ -1,0 +1,61 @@
+"""Long-context training: where selective recomputation matters most.
+
+Equation 6's punchline is that selective recomputation makes activation
+memory *linear* in sequence length and independent of the head count,
+while the baseline's ``5as^2b`` attention term grows quadratically.  This
+example sweeps the context length of a GPT-3-scale model and shows the
+crossover: past a few thousand tokens the attention core is almost all of
+the activation memory, yet recomputing it costs only a few percent.
+
+(This extends the paper's evaluation — its experiments fix s=2048 — using
+the same validated models.)
+
+Run:  python examples/long_sequence_training.py
+"""
+
+from repro.config import PAPER_CONFIGS
+from repro.flops_model import (
+    attention_memory_factor,
+    selective_recompute_flops_overhead,
+)
+from repro.layers.transformer import Recompute
+from repro.memory_model import per_layer_activation_bytes
+from repro.units import fmt_bytes
+
+
+def main() -> None:
+    base = PAPER_CONFIGS["175B"]
+    t, b = base.parallel.tensor_parallel, 1
+    print("175B (GPT-3) per-layer activation memory vs context length "
+          f"(t={t}, b={b}, SP on):\n")
+    header = (f"{'s':>6s} {'5as/h':>7s} {'no recompute':>14s} "
+              f"{'selective':>12s} {'saved':>7s} {'extra FLOPs':>12s}")
+    print(header)
+    print("-" * len(header))
+    for s in (1024, 2048, 4096, 8192, 16384, 32768):
+        model = base.model.scaled(seq_length=s)
+        none = per_layer_activation_bytes(model, b, t, True, Recompute.NONE)
+        sel = per_layer_activation_bytes(model, b, t, True, Recompute.SELECTIVE)
+        factor = attention_memory_factor(model)
+        overhead = selective_recompute_flops_overhead(model)
+        print(f"{s:6d} {factor:7.0f} {fmt_bytes(none):>14s} "
+              f"{fmt_bytes(sel):>12s} {1 - sel / none:6.1%} {overhead:11.1%}")
+
+    print(
+        "\nReading the table: at s=2048 the attention core is already 70% of"
+        "\nactivation memory (the paper's Section 5 number); by s=32k it is"
+        "\n~97%, saved at the cost of re-running the two attention GEMMs"
+        "\n(~s/6h of forward FLOPs). The baseline's quadratic term needs 16x"
+        "\nmore memory for 8x the context; selective recomputation keeps"
+        "\ngrowth linear in s and independent of the head count (Eq. 6)."
+    )
+
+    print("\nMemory ratio selective/none as s grows (34 / (34 + 5as/h)):")
+    for s in (2048, 8192, 32768):
+        model = base.model.scaled(seq_length=s)
+        f = attention_memory_factor(model)
+        print(f"  s={s:6d}: {34 / (34 + f):.3f}")
+
+
+if __name__ == "__main__":
+    main()

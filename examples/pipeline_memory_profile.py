@@ -1,0 +1,70 @@
+"""Per-pipeline-rank memory: Figure 9 at paper scale and measured at toy
+scale.
+
+Part 1 regenerates the 530B profile of Appendix B (closed form + the
+event-driven schedule simulator).  Part 2 actually *runs* a small model
+through the real 1F1B executor with per-stage memory trackers and shows
+the same staircase, measured from the autograd tape.
+
+Run:  python examples/pipeline_memory_profile.py
+"""
+
+import numpy as np
+
+from repro.config import PAPER_CONFIGS, ModelConfig
+from repro.layers import Recompute
+from repro.memory_model import pipeline_memory_profile
+from repro.parallel import ParallelGPTModel
+from repro.pipeline_sim.microbatch_recompute import plan_microbatch_recompute
+from repro.reporting import ascii_bars
+from repro.training import PipelinedGPT
+from repro.units import GIB, fmt_bytes
+
+
+def paper_scale() -> None:
+    cfg = PAPER_CONFIGS["530B"]
+    prof = pipeline_memory_profile(cfg, sequence_parallel=True)
+    sample = [0, 1, 8, 17, 26, 33, 34]
+    print("== 530B per-pipeline-rank activation memory (Figure 9) ==")
+    print(ascii_bars(
+        [f"rank {i:2d} (unopt)" for i in sample],
+        [prof.unoptimized_bytes[i] / GIB for i in sample],
+        fmt=lambda v: f"{v:.1f} GiB"))
+    print(ascii_bars(
+        [f"rank {i:2d} (dealloc)" for i in sample],
+        [prof.optimized_bytes[i] / GIB for i in sample],
+        fmt=lambda v: f"{v:.1f} GiB"))
+    print(f"rank-0 saving from output-tensor deallocation: "
+          f"{fmt_bytes(prof.savings(0))} (paper: 2.73 GB)\n")
+
+    plan = plan_microbatch_recompute(cfg)
+    free = sum(1 for s in plan.stages if not s.needs_recompute)
+    print(f"Appendix C microbatch-level recompute plan: {free}/{len(plan.stages)} "
+          f"stages store everything; mean full fraction "
+          f"{plan.mean_full_fraction:.0%}\n")
+
+
+def toy_scale_measured() -> None:
+    config = ModelConfig(num_layers=8, hidden_size=32, num_heads=4,
+                         seq_length=16, vocab_size=32)
+    model = ParallelGPTModel(config, tensor_parallel=2, sequence_parallel=True,
+                             recompute=Recompute.SELECTIVE, seed=3)
+    p, n_mb = 4, 8
+    pipe = PipelinedGPT(model, pipeline_parallel=p)
+    rng = np.random.default_rng(0)
+    ids = rng.integers(0, 32, size=(16, n_mb))
+    targets = rng.integers(0, 32, size=(16, n_mb))
+    result = pipe.train_step(ids, targets, num_microbatches=n_mb)
+    print("== Toy model, real 1F1B execution, measured per-stage peaks ==")
+    print(ascii_bars(
+        [f"stage {i}" for i in range(p)],
+        [float(v) for v in result.peak_stage_bytes],
+        fmt=lambda v: fmt_bytes(v)))
+    print("\nStage 0 holds p in-flight microbatches (Section 4.2.3); later"
+          "\nstages hold p-i — the same staircase the 530B profile shows,"
+          "\nhere counted byte-by-byte from the autograd tape.")
+
+
+if __name__ == "__main__":
+    paper_scale()
+    toy_scale_measured()

@@ -1,0 +1,84 @@
+"""Quickstart: sequence parallelism + selective activation recomputation.
+
+Builds a small GPT twice — serial, and under 4-way tensor parallelism with
+the paper's techniques — verifies they compute identical losses/gradients,
+and shows the activation-memory ladder of Table 2 measured on the real
+autograd graph.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.layers import GPTModel, Recompute, token_tensor
+from repro.memory_model import per_layer_activation_bytes
+from repro.parallel import ParallelGPTModel
+from repro.tensor import MemoryTracker, instrument
+from repro.tensor.functions import MaskSource
+from repro.units import fmt_bytes
+
+
+def main() -> None:
+    config = ModelConfig(num_layers=4, hidden_size=64, num_heads=8,
+                         seq_length=64, vocab_size=128, name="toy")
+    rng = np.random.default_rng(0)
+    ids = rng.integers(0, config.vocab_size, size=(config.seq_length, 2))
+    targets = rng.integers(0, config.vocab_size, size=(config.seq_length, 2))
+
+    # A deterministic mask source lets dropout stay ON while comparing
+    # layouts bit-for-bit.
+    masks = MaskSource(seed=7, keep_prob=0.9)
+
+    print("== 1. Serial reference model ==")
+    serial = GPTModel(config, seed=1, mask_source=masks)
+    loss = serial(token_tensor(ids), token_tensor(targets))
+    loss.backward()
+    print(f"loss = {loss.item():.6f}  (~log V = {np.log(config.vocab_size):.3f})")
+
+    print("\n== 2. Tensor + sequence parallel, selective recompute (t=4) ==")
+    parallel = ParallelGPTModel(
+        config, tensor_parallel=4, sequence_parallel=True,
+        recompute=Recompute.SELECTIVE, mask_source=masks, serial=serial,
+    )
+    ploss = parallel(token_tensor(ids, world=4), token_tensor(targets, world=4))
+    ploss.backward()
+    parallel.finish_grad_sync()
+    print(f"loss = {ploss.item():.6f}  "
+          f"(matches serial: {np.isclose(ploss.item(), loss.item())})")
+    g_serial = np.asarray(serial.layers[0].mlp.fc1.weight.grad[0])
+    g_parallel = np.concatenate(
+        [np.asarray(g) for g in parallel.layers[0].mlp.fc1.weight.grad], axis=1)
+    print(f"fc1 weight gradients match: {np.allclose(g_serial, g_parallel)}")
+
+    print("\n== 3. Measured activation memory per layer (Table 2) ==")
+    header = f"{'configuration':42s} {'measured/rank':>14s} {'formula':>14s}"
+    print(header)
+    print("-" * len(header))
+    for label, t, sp, rc in [
+        ("no parallelism", 1, False, Recompute.NONE),
+        ("tensor parallel (baseline)", 4, False, Recompute.NONE),
+        ("tensor + sequence parallel", 4, True, Recompute.NONE),
+        ("TP + selective recompute", 4, False, Recompute.SELECTIVE),
+        ("TP + SP + selective recompute", 4, True, Recompute.SELECTIVE),
+        ("full activation recomputation", 4, False, Recompute.FULL),
+    ]:
+        model = ParallelGPTModel(config, tensor_parallel=t,
+                                 sequence_parallel=sp, recompute=rc,
+                                 mask_source=masks, serial=serial,
+                                 num_layers_override=1)
+        tracker = MemoryTracker()
+        with instrument(memory=tracker):
+            x = model.embedding(token_tensor(ids, world=t))
+            before = tracker.live_bytes(0)
+            model.layers[0](x)
+            measured = tracker.live_bytes(0) - before
+        formula = per_layer_activation_bytes(config, 2, t, sp, rc)
+        print(f"{label:42s} {fmt_bytes(measured):>14s} {fmt_bytes(formula):>14s}")
+
+    print("\nEvery row is measured by counting the bytes the autograd tape"
+          "\nactually saves — and matches the paper's closed forms exactly.")
+
+
+if __name__ == "__main__":
+    main()

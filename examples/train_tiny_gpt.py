@@ -1,0 +1,53 @@
+"""End-to-end training on the full simulated stack.
+
+Trains a small GPT on a learnable Markov token stream with everything the
+paper composes: 2-way tensor parallelism + sequence parallelism +
+selective activation recomputation + 2-stage 1F1B pipeline parallelism +
+gradient accumulation + Adam with clipping.  Loss drops toward the
+stream's entropy floor, demonstrating the whole system trains correctly,
+not just that formulas match.
+
+Run:  python examples/train_tiny_gpt.py
+"""
+
+import numpy as np
+
+from repro.config import ModelConfig
+from repro.layers import Recompute
+from repro.parallel import ParallelGPTModel
+from repro.training import Adam, MarkovTokens, PipelinedGPT
+from repro.tensor import seed
+
+
+def main() -> None:
+    config = ModelConfig(num_layers=4, hidden_size=48, num_heads=4,
+                         seq_length=32, vocab_size=24, name="tiny-gpt")
+    seed(0)
+    model = ParallelGPTModel(
+        config, tensor_parallel=2, sequence_parallel=True,
+        recompute=Recompute.SELECTIVE,
+        attention_dropout=0.0, hidden_dropout=0.0, seed=0,
+    )
+    pipe = PipelinedGPT(model, pipeline_parallel=2)
+    optimizer = Adam(model.parameters(), lr=2e-3, grad_clip=1.0)
+    data = MarkovTokens(config.vocab_size, config.seq_length, seed=1)
+
+    print(f"training {config.name}: {model.num_parameters():,} parameters, "
+          "t=2 (SP + selective recompute), p=2 (1F1B), 2 microbatches/step")
+    print(f"token-stream entropy floor: {data.entropy_rate():.3f} nats; "
+          f"uniform loss would be {np.log(config.vocab_size):.3f}\n")
+
+    steps, batch = 40, 8
+    for step in range(1, steps + 1):
+        ids, targets = data.batch(batch)
+        loss = pipe.fit_step(optimizer, ids, targets, num_microbatches=2)
+        if step == 1 or step % 5 == 0:
+            print(f"step {step:3d}  loss {loss:.4f}  "
+                  f"grad-norm {optimizer.global_grad_norm():8.3f}")
+
+    print("\nloss is approaching the Markov entropy floor — the simulated"
+          "\nTP+SP+recompute+pipeline stack trains end to end.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,256 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's tables and figures, report memory/FLOPs
+for a configuration, run the recomputation planner, or simulate a
+pipeline schedule.  Run ``python -m repro --help`` for the full list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import experiments
+from .config import PAPER_CONFIG_NAMES, PAPER_CONFIGS
+from .flops_model import (
+    hardware_flops_per_iteration,
+    hardware_to_model_ratio,
+    model_flops_per_iteration,
+)
+from .layers.transformer import Recompute
+from .memory_model import (
+    per_layer_activation_bytes,
+    total_activation_bytes,
+    weight_and_optimizer_bytes,
+)
+from .perf_model import iteration_time
+from .planner import plan
+from .reporting import format_table, pct
+from .units import GIB, fmt_bytes, fmt_count, fmt_flops
+
+
+def _config(name: str):
+    if name not in PAPER_CONFIGS:
+        raise SystemExit(f"unknown model {name!r}; choose from {', '.join(PAPER_CONFIG_NAMES)}")
+    return PAPER_CONFIGS[name]
+
+
+def cmd_table(args) -> str:
+    if args.number == 2:
+        return experiments.table2_report(args.model)
+    if args.number == 4:
+        return experiments.table4_report()
+    if args.number == 5:
+        return experiments.table5_report()
+    raise SystemExit("reproducible tables: 2, 4, 5")
+
+
+def cmd_figure(args) -> str:
+    if args.number == 1:
+        return experiments.figure1_report()
+    if args.number == 7:
+        return experiments.figure7_report()
+    if args.number == 8:
+        return experiments.figure8_report()
+    if args.number == 9:
+        return experiments.figure9_report()
+    if args.number == 10:
+        from .pipeline_sim import figure10
+        return figure10()
+    raise SystemExit("reproducible figures: 1, 7, 8, 9, 10")
+
+
+def cmd_memory(args) -> str:
+    cfg = _config(args.model)
+    recompute = Recompute(args.recompute)
+    rows = []
+    for sp in (False, True):
+        per_layer = per_layer_activation_bytes(
+            cfg.model, cfg.training.micro_batch_size,
+            cfg.parallel.tensor_parallel, sp, recompute)
+        total = total_activation_bytes(cfg, recompute=recompute, sequence_parallel=sp)
+        rows.append(("yes" if sp else "no", fmt_bytes(per_layer), fmt_bytes(total)))
+    static = weight_and_optimizer_bytes(cfg)
+    text = format_table(
+        ["sequence parallel", "per layer", "first-stage total"],
+        rows,
+        title=(f"Activation memory, {args.model}, recompute={recompute.value}, "
+               f"t={cfg.parallel.tensor_parallel}, p={cfg.parallel.pipeline_parallel}"),
+    )
+    text += f"\nweights + optimizer state per GPU: {fmt_bytes(static)}"
+    return text
+
+
+def cmd_flops(args) -> str:
+    cfg = _config(args.model)
+    batch = cfg.training.global_batch_size
+    model_fl = model_flops_per_iteration(cfg.model, batch)
+    rows = []
+    for rc in (Recompute.NONE, Recompute.SELECTIVE, Recompute.FULL):
+        hw = hardware_flops_per_iteration(cfg.model, batch, rc)
+        rows.append((rc.value, fmt_flops(hw), f"{hw / model_fl:.4f}"))
+    text = format_table(
+        ["recompute", "hardware FLOPs/iter", "hardware/model"],
+        rows,
+        title=(f"FLOPs, {args.model} (global batch {batch}); model FLOPs = "
+               f"{fmt_flops(model_fl)}; Eq. 9 ratio = "
+               f"{hardware_to_model_ratio(cfg.model):.4f}"),
+    )
+    text += f"\nparameters: {fmt_count(cfg.model.parameter_count())}"
+    return text
+
+
+def cmd_plan(args) -> str:
+    cfg = _config(args.model)
+    option = plan(cfg, device_memory_bytes=args.memory_gb * GIB,
+                  full_layer_step=max(1, cfg.model.num_layers // 16))
+    return (
+        f"cheapest strategy that fits {args.memory_gb} GB on {args.model}:\n"
+        f"  {option.description}\n"
+        f"  activations: {fmt_bytes(option.activation_bytes)}  "
+        f"weights+optimizer: {fmt_bytes(option.static_bytes)}  "
+        f"total: {fmt_bytes(option.total_bytes)}\n"
+        f"  estimated per-layer time overhead vs no-recompute: "
+        f"{pct(option.overhead_fraction)}"
+    )
+
+
+def cmd_simulate(args) -> str:
+    cfg = _config(args.model)
+    result = iteration_time(
+        cfg, sequence_parallel=not args.no_sequence_parallel,
+        recompute=Recompute(args.recompute), data_parallel=args.data_parallel,
+    )
+    text = (
+        f"{args.model}: iteration {result.iteration_time:.3f} s "
+        f"(pipeline {result.pipeline_time:.3f} s + optimizer "
+        f"{result.optimizer_time:.3f} s + DP all-reduce "
+        f"{result.dp_allreduce_time:.3f} s)\n"
+        f"  per layer: fwd {1e3*result.per_layer.forward:.2f} ms, "
+        f"bwd {1e3*result.per_layer.backward_total:.2f} ms "
+        f"(recompute {1e3*result.per_layer.recompute:.2f} ms)\n"
+        f"  pipeline bubble: {pct(result.bubble_fraction)}   "
+        f"MFU: {pct(result.mfu)}   HFU: {pct(result.hfu)}"
+    )
+    if args.breakdown:
+        from .perf_model import KernelCostModel, layer_oplog
+        cost = KernelCostModel()
+        log = layer_oplog(cfg.model, cfg.training.micro_batch_size,
+                          cfg.parallel.tensor_parallel,
+                          sequence_parallel=not args.no_sequence_parallel,
+                          recompute=Recompute(args.recompute))
+        text += "\n  per-layer time attribution (ms):"
+        for phase, kinds in cost.price_breakdown(log).items():
+            parts = ", ".join(f"{k} {1e3*v:.2f}" for k, v in sorted(kinds.items()))
+            text += f"\n    {phase:9s} {parts}"
+    return text
+
+
+def cmd_section5(_args) -> str:
+    return experiments.section5_report()
+
+
+def cmd_appendix_c(_args) -> str:
+    return experiments.appendix_c_report()
+
+
+def cmd_sweep(args) -> str:
+    from . import sweeps
+    cfg = _config(args.model)
+    m, b, t = cfg.model, cfg.training.micro_batch_size, cfg.parallel.tensor_parallel
+    lengths = tuple(args.seq_lengths)
+    if args.kind == "seq":
+        rows = sweeps.sequence_length_sweep(m, b, t, seq_lengths=lengths)
+    elif args.kind == "tp":
+        rows = sweeps.tensor_parallel_sweep(m, b)
+    elif args.kind == "fit":
+        rows = sweeps.strategy_fit_sweep(cfg, seq_lengths=lengths,
+                                         device_memory_bytes=args.memory_gb * GIB)
+    else:
+        rows = sweeps.recompute_overhead_sweep(m, b, t, seq_lengths=lengths)
+    header = (f"# {args.kind} sweep on {args.model}; crossover 5as/h=34 at "
+              f"s={sweeps.crossover_sequence_length(m)}")
+    return header + "\n" + sweeps.to_csv(rows)
+
+
+def cmd_report(args) -> str:
+    from .reporting.report import full_report
+    text = full_report()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        return f"wrote {len(text.splitlines())} lines to {args.output}"
+    return text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Reducing Activation Recomputation in "
+                     "Large Transformer Models' (MLSys 2023)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table", help="regenerate a paper table (2, 4 or 5)")
+    p.add_argument("number", type=int)
+    p.add_argument("--model", default="22B", choices=PAPER_CONFIG_NAMES)
+    p.set_defaults(fn=cmd_table)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure (1, 7, 8, 9 or 10)")
+    p.add_argument("number", type=int)
+    p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser("memory-report", help="activation + weight memory for a config")
+    p.add_argument("--model", default="530B", choices=PAPER_CONFIG_NAMES)
+    p.add_argument("--recompute", default="selective",
+                   choices=[r.value for r in Recompute])
+    p.set_defaults(fn=cmd_memory)
+
+    p = sub.add_parser("flops-report", help="model vs hardware FLOPs (Appendix A)")
+    p.add_argument("--model", default="175B", choices=PAPER_CONFIG_NAMES)
+    p.set_defaults(fn=cmd_flops)
+
+    p = sub.add_parser("plan", help="cheapest recompute strategy that fits memory")
+    p.add_argument("--model", default="530B", choices=PAPER_CONFIG_NAMES)
+    p.add_argument("--memory-gb", type=float, default=80.0)
+    p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser("simulate-pipeline", help="end-to-end iteration simulation")
+    p.add_argument("--model", default="175B", choices=PAPER_CONFIG_NAMES)
+    p.add_argument("--recompute", default="selective",
+                   choices=[r.value for r in Recompute])
+    p.add_argument("--no-sequence-parallel", action="store_true")
+    p.add_argument("--data-parallel", type=int, default=1)
+    p.add_argument("--breakdown", action="store_true",
+                   help="attribute per-layer time to GEMM/elementwise/comm")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("section5", help="Section 5 selective-recompute claims")
+    p.set_defaults(fn=cmd_section5)
+
+    p = sub.add_parser("appendix-c", help="microbatch-level recomputation MFU")
+    p.set_defaults(fn=cmd_appendix_c)
+
+    p = sub.add_parser("sweep", help="parameter sweeps (CSV): seq, tp, fit, overhead")
+    p.add_argument("kind", choices=["seq", "tp", "fit", "overhead"])
+    p.add_argument("--model", default="175B", choices=PAPER_CONFIG_NAMES)
+    p.add_argument("--seq-lengths", type=int, nargs="+",
+                   default=[1024, 2048, 4096, 8192, 16384])
+    p.add_argument("--memory-gb", type=float, default=80.0)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("report", help="regenerate every table/figure in one document")
+    p.add_argument("--output", default=None, help="write to a file instead of stdout")
+    p.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(args.fn(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Data semantics of the collectives, on per-rank shard lists.
+
+These functions implement what NCCL collectives *compute*, operating on a
+list with one array per rank (concrete NumPy or abstract shape-only).
+They are pure data transforms — time/cost accounting lives in
+:mod:`repro.comm.cost_model` and is logged by the autograd wrappers in
+:mod:`repro.parallel.mappings`.
+
+Conventions (matching NCCL):
+
+* ``all_reduce(shards)`` — every rank ends with the elementwise sum.
+* ``all_gather(shards, axis)`` — every rank ends with the concatenation of
+  all shards along ``axis``.
+* ``reduce_scatter(shards, axis)`` — the elementwise sum is computed, then
+  split along ``axis``; rank ``i`` keeps piece ``i``.
+* ``scatter(full, world, axis)`` — split one array into per-rank pieces
+  (no reduction).
+* ``gather_concat(shards, axis)`` — like all_gather but conceptually
+  rooted; provided for schedule code that wants a single full array.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import CommError
+from ..tensor import backend as bk
+from ..tensor.backend import ArrayLike
+
+
+def _check(shards: Sequence[ArrayLike]) -> None:
+    if not shards:
+        raise CommError("collective needs at least one shard")
+    shape0 = bk.shape_of(shards[0])
+    for s in shards[1:]:
+        if bk.shape_of(s) != shape0:
+            raise CommError(
+                f"collective shards must share a shape; got {shape0} and {bk.shape_of(s)}"
+            )
+
+
+def all_reduce(shards: Sequence[ArrayLike]) -> List[ArrayLike]:
+    """Sum across ranks; every rank receives the (shared) result."""
+    _check(shards)
+    total = shards[0]
+    for s in shards[1:]:
+        total = total + s
+    if len(shards) == 1 and not bk.is_abstract(total):
+        total = total.copy()  # fresh buffer, same as the W>1 path
+    return [total] * len(shards)
+
+
+def all_gather(shards: Sequence[ArrayLike], axis: int = 0) -> List[ArrayLike]:
+    """Concatenate all shards along ``axis``; every rank gets the full array."""
+    _check(shards)
+    full = bk.concatenate(list(shards), axis)
+    return [full] * len(shards)
+
+
+def reduce_scatter(shards: Sequence[ArrayLike], axis: int = 0) -> List[ArrayLike]:
+    """Sum across ranks, then rank ``i`` keeps slice ``i`` along ``axis``."""
+    _check(shards)
+    total = shards[0]
+    for s in shards[1:]:
+        total = total + s
+    return bk.split(total, len(shards), axis)
+
+
+def scatter(full: ArrayLike, world: int, axis: int = 0) -> List[ArrayLike]:
+    """Split one array into ``world`` equal pieces along ``axis``."""
+    return bk.split(full, world, axis)
+
+
+def gather_concat(shards: Sequence[ArrayLike], axis: int = 0) -> ArrayLike:
+    """The full concatenation (a rooted gather)."""
+    _check(shards)
+    return bk.concatenate(list(shards), axis)
+
+
+def broadcast(value: ArrayLike, world: int) -> List[ArrayLike]:
+    """Every rank receives the same array."""
+    return [value] * world

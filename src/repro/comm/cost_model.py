@@ -1,0 +1,85 @@
+"""Alpha-beta cost model for ring collectives.
+
+The paper reasons explicitly with the ring decomposition ("a ring
+all-reduce is composed of two steps: a reduce-scatter followed by an
+all-gather", Section 4.2.2), so we model collective time the standard way:
+
+* ring all-reduce of ``S`` bytes over ``n`` ranks moves ``2 (n-1)/n * S``
+  bytes per rank in ``2(n-1)`` latency-bound steps;
+* ring all-gather / reduce-scatter each move ``(n-1)/n * S`` bytes in
+  ``(n-1)`` steps.
+
+Hence all-reduce and (reduce-scatter + all-gather) use identical bandwidth —
+the paper's equal-bandwidth claim — but the pair pays one extra *per-call*
+fixed cost (kernel launch + NCCL bookkeeping), reproducing the paper's
+observation that "the execution of reduce-scatter and all-gather combined
+is slower than an all-reduce alone".
+
+``nbytes`` below is always the **full logical tensor size** being
+communicated (the all-reduce input size; the all-gather output size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CommError
+from ..hardware import ClusterSpec, LinkSpec
+from ..tensor.oplog import CommInfo
+
+
+@dataclass(frozen=True)
+class CollectiveCostModel:
+    """Maps a :class:`~repro.tensor.oplog.CommInfo` to seconds."""
+
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    #: Fixed cost of issuing one collective (kernel launch + proto setup).
+    call_overhead: float = 12e-6
+
+    def link_for(self, info: CommInfo) -> LinkSpec:
+        """Pick the physical link a group's ring bottlenecks on.
+
+        Tensor-parallel groups are mapped within a node (the Megatron
+        placement the paper uses, t=8 on 8-GPU nodes) as long as they fit;
+        pipeline and data parallel traffic crosses nodes whenever there is
+        more than one node.
+        """
+        node = self.cluster.node
+        if info.scope == "tp" and info.group_size <= node.gpus_per_node:
+            return node.intra_node_link
+        if self.cluster.num_nodes == 1:
+            return node.intra_node_link
+        return self.cluster.inter_node_link
+
+    def time(self, info: CommInfo) -> float:
+        """Seconds for one collective described by ``info``."""
+        n = info.group_size
+        if n < 1:
+            raise CommError(f"bad group size {n}")
+        if n == 1:
+            return 0.0
+        link = self.link_for(info)
+        s = float(info.nbytes)
+        if info.op == "all_reduce":
+            steps, volume = 2 * (n - 1), 2.0 * (n - 1) / n * s
+        elif info.op in ("all_gather", "reduce_scatter"):
+            steps, volume = (n - 1), 1.0 * (n - 1) / n * s
+        elif info.op == "broadcast":
+            steps, volume = (n - 1), 1.0 * (n - 1) / n * s
+        elif info.op == "p2p":
+            steps, volume = 1, s
+        else:
+            raise CommError(f"unknown collective op {info.op!r}")
+        return self.call_overhead + steps * link.latency + volume / link.bandwidth
+
+    def all_reduce_time(self, nbytes: int, group_size: int, scope: str = "tp") -> float:
+        return self.time(CommInfo("all_reduce", nbytes, group_size, scope))
+
+    def all_gather_time(self, nbytes: int, group_size: int, scope: str = "tp") -> float:
+        return self.time(CommInfo("all_gather", nbytes, group_size, scope))
+
+    def reduce_scatter_time(self, nbytes: int, group_size: int, scope: str = "tp") -> float:
+        return self.time(CommInfo("reduce_scatter", nbytes, group_size, scope))
+
+    def p2p_time(self, nbytes: int, scope: str = "pp") -> float:
+        return self.time(CommInfo("p2p", nbytes, 2, scope))

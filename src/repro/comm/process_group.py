@@ -1,0 +1,40 @@
+"""Process groups for the simulated SPMD runtime.
+
+A :class:`ProcessGroup` names a set of ranks that participate in
+collectives together.  In this simulator the member ranks' data live in a
+single Python process (a :class:`~repro.tensor.tensor.Tensor` holds one
+shard per rank), so a group is just its size plus a *scope* label that the
+cost model uses to pick the physical link:
+
+* ``"tp"`` — tensor-parallel group; Megatron maps these onto one DGX node
+  so collectives ride NVLink;
+* ``"pp"`` — pipeline-parallel peers (adjacent stages), typically
+  inter-node InfiniBand;
+* ``"dp"`` — data-parallel replicas, inter-node InfiniBand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CommError
+
+
+@dataclass(frozen=True)
+class ProcessGroup:
+    """A named group of ``size`` simulated ranks."""
+
+    size: int
+    scope: str = "tp"
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise CommError(f"group size must be >= 1, got {self.size}")
+        if self.scope not in ("tp", "pp", "dp"):
+            raise CommError(f"unknown scope {self.scope!r}")
+
+    def check_world(self, world: int) -> None:
+        if world != self.size:
+            raise CommError(
+                f"tensor has {world} shards but group {self.scope} has size {self.size}"
+            )

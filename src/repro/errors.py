@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(ReproError):
+    """Invalid model or parallelism configuration."""
+
+
+class ShapeError(ReproError):
+    """Tensor shapes are inconsistent with the requested operation."""
+
+
+class CommError(ReproError):
+    """Invalid collective-communication usage (rank/shape mismatch...)."""
+
+
+class AutogradError(ReproError):
+    """Misuse of the autograd tape (double backward, missing grads...)."""
+
+
+class PlanningError(ReproError):
+    """No recomputation plan fits the requested memory budget."""
+
+
+class ScheduleError(ReproError):
+    """Invalid pipeline schedule construction or execution."""

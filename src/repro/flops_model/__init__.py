@@ -1,0 +1,22 @@
+"""FLOP accounting and MFU/HFU (paper Appendix A, Section 6.3)."""
+
+from .flops import (
+    Utilization,
+    attention_core_forward_flops_per_layer,
+    attention_memory_factor,
+    forward_flops_per_layer,
+    hardware_flops_per_iteration,
+    hardware_to_model_ratio,
+    logits_forward_flops,
+    model_flops_per_iteration,
+    selective_recompute_flops_overhead,
+    utilization,
+)
+
+__all__ = [
+    "Utilization", "attention_core_forward_flops_per_layer",
+    "attention_memory_factor", "forward_flops_per_layer",
+    "hardware_flops_per_iteration", "hardware_to_model_ratio",
+    "logits_forward_flops", "model_flops_per_iteration",
+    "selective_recompute_flops_overhead", "utilization",
+]

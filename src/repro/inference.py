@@ -1,0 +1,255 @@
+"""Autoregressive generation on the trained (serial or parallel) GPT.
+
+A small adoption surface on top of the training substrate: greedy and
+top-k sampling with an ``evaluation`` context that disables dropout.
+Two decode paths are provided and verified identical: :func:`generate`
+recomputes the full forward per step (works for serial and all parallel
+layouts), while :func:`generate_cached` keeps per-layer KV caches and
+does O(context) work per step (serial models).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Union
+
+import numpy as np
+
+from .errors import ConfigError
+from .layers.dropout import Dropout
+from .layers.embedding import token_tensor
+from .layers.module import Module
+from .layers.transformer import GPTModel
+from .parallel.transformer import ParallelGPTModel
+from .tensor import no_grad
+
+AnyGPT = Union[GPTModel, ParallelGPTModel]
+
+
+@contextmanager
+def evaluation(model: Module):
+    """Disable every dropout in ``model`` for the duration of the block."""
+    dropouts = [m for m in model.modules() if isinstance(m, Dropout)]
+    saved = [d.p for d in dropouts]
+    for d in dropouts:
+        d.p = 0.0
+    try:
+        yield model
+    finally:
+        for d, p in zip(dropouts, saved):
+            d.p = p
+
+
+def _world(model: AnyGPT) -> int:
+    return getattr(getattr(model, "group", None), "size", 1)
+
+
+def _next_token_logits(model: AnyGPT, ids: np.ndarray,
+                       sp_chunk: int = 1, max_len: int = 10**9) -> np.ndarray:
+    """Logits for the position after ``ids`` — full vocabulary, ``(b, v)``.
+
+    Sequence parallelism shards the context along ``s``, so the length
+    must be a multiple of ``t``; we right-pad with dummy tokens (causal
+    masking makes them invisible to earlier positions) and read the true
+    last position.
+    """
+    world = _world(model)
+    length = ids.shape[0]
+    if sp_chunk > 1 and length % sp_chunk != 0:
+        pad = min(sp_chunk - length % sp_chunk, max_len - length)
+        if length + pad > max_len or (length + pad) % sp_chunk != 0:
+            raise ConfigError(
+                "cannot pad the context to a sequence-parallel boundary "
+                "within the model's maximum sequence length"
+            )
+        ids = np.concatenate(
+            [ids, np.zeros((pad, ids.shape[1]), dtype=np.int64)], axis=0)
+    logits = model.logits(token_tensor(ids, world=world))
+    if world == 1:
+        full = np.asarray(logits.shards[0])
+    else:
+        # vocab-parallel head: shards partition the vocabulary
+        full = np.concatenate([np.asarray(s) for s in logits.shards], axis=-1)
+    return full[length - 1]
+
+
+def generate(
+    model: AnyGPT,
+    prompt: np.ndarray,
+    max_new_tokens: int,
+    strategy: str = "greedy",
+    top_k: int = 10,
+    temperature: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Extend ``prompt`` (``(length, batch)`` int tokens) autoregressively.
+
+    ``strategy`` is ``"greedy"`` (deterministic argmax) or ``"top_k"``
+    (sample among the ``top_k`` most likely tokens at ``temperature``).
+    Generation stops at the model's maximum sequence length.  With
+    sequence parallelism enabled the context length must stay divisible by
+    the tensor-parallel size, so SP models should generate without SP or
+    at aligned lengths; a clear error is raised otherwise.
+    """
+    if strategy not in ("greedy", "top_k"):
+        raise ConfigError(f"unknown decoding strategy {strategy!r}")
+    if temperature <= 0:
+        raise ConfigError("temperature must be positive")
+    rng = rng or np.random.default_rng(0)
+    ids = np.asarray(prompt, dtype=np.int64)
+    if ids.ndim != 2:
+        raise ConfigError("prompt must be (length, batch)")
+    max_len = model.config.seq_length
+    sp_chunk = (model.group.size
+                if isinstance(model, ParallelGPTModel) and model.sequence_parallel
+                else 1)
+
+    with no_grad(), evaluation(model):
+        for _ in range(max_new_tokens):
+            if ids.shape[0] >= max_len:
+                break
+            logits = _next_token_logits(model, ids, sp_chunk=sp_chunk,
+                                        max_len=max_len)
+            if strategy == "greedy":
+                nxt = np.argmax(logits, axis=-1)
+            else:
+                scaled = logits / temperature
+                k = min(top_k, scaled.shape[-1])
+                nxt = np.empty(scaled.shape[0], dtype=np.int64)
+                for j in range(scaled.shape[0]):
+                    top = np.argpartition(scaled[j], -k)[-k:]
+                    probs = np.exp(scaled[j][top] - scaled[j][top].max())
+                    probs /= probs.sum()
+                    nxt[j] = top[rng.choice(k, p=probs)]
+            ids = np.concatenate([ids, nxt[None, :]], axis=0)
+    return ids
+
+
+def perplexity(model: AnyGPT, ids: np.ndarray, targets: np.ndarray) -> float:
+    """``exp`` of the token-mean cross entropy on one batch (dropout off)."""
+    world = _world(model)
+    with no_grad(), evaluation(model):
+        loss = model(token_tensor(ids, world=world),
+                     token_tensor(targets, world=world))
+    return float(np.exp(loss.item()))
+
+
+# ---------------------------------------------------------------------------
+# KV-cache incremental decoding (serial models)
+# ---------------------------------------------------------------------------
+
+class KVCache:
+    """Per-layer key/value tensors accumulated across decode steps.
+
+    Each entry is a world-1 ``Tensor`` of shape ``(positions_so_far, b, h)``.
+    """
+
+    def __init__(self, num_layers: int):
+        self.keys: list = [None] * num_layers
+        self.values: list = [None] * num_layers
+
+    @property
+    def length(self) -> int:
+        return 0 if self.keys[0] is None else self.keys[0].shape[0]
+
+    def append(self, layer: int, k, v) -> None:
+        from .tensor import functions as F
+        if self.keys[layer] is None:
+            self.keys[layer], self.values[layer] = k, v
+        else:
+            self.keys[layer] = F.concat([self.keys[layer], k], axis=0)
+            self.values[layer] = F.concat([self.values[layer], v], axis=0)
+
+
+def _decode_attention(attn, q, keys, values):
+    """One-query attention over cached keys/values (no mask needed: the
+    cache contains only past positions).  Reuses the training ops."""
+    import math
+    from .tensor import functions as F
+
+    one, b, h = q.shape
+    cur = keys.shape[0]
+    a = attn.num_heads
+    d = h // a
+    qr = F.transpose(F.reshape(q, (one, b, a, d)), (1, 2, 0, 3))       # (b,a,1,d)
+    kt = F.transpose(F.reshape(keys, (cur, b, a, d)), (1, 2, 3, 0))    # (b,a,d,cur)
+    vr = F.transpose(F.reshape(values, (cur, b, a, d)), (1, 2, 0, 3))  # (b,a,cur,d)
+    scores = F.scale(F.matmul(qr, kt), 1.0 / math.sqrt(d))
+    probs = F.softmax(scores)
+    ctxt = F.matmul(probs, vr)                                         # (b,a,1,d)
+    ctxt = F.transpose(ctxt, (2, 0, 1, 3))                             # (1,b,a,d)
+    return F.reshape(ctxt, (one, b, h))
+
+
+def decode_step(model: GPTModel, cache: KVCache, tokens: np.ndarray) -> np.ndarray:
+    """Advance the cache by one token per sequence; return ``(b, v)`` logits.
+
+    ``tokens`` is ``(1, b)``: the token at position ``cache.length``.
+    Mathematically identical to a full forward over the whole context
+    (verified in tests) but does O(context) work per step instead of
+    O(context^2).  Serial models only — the parallel model decodes via
+    :func:`generate`'s full-forward path.
+    """
+    from .tensor import functions as F
+
+    if not isinstance(model, GPTModel):
+        raise ConfigError("decode_step supports serial GPTModel only")
+    if tokens.shape[0] != 1:
+        raise ConfigError("decode_step consumes exactly one position per call")
+    pos = cache.length
+    if pos >= model.config.seq_length:
+        raise ConfigError("cache is at the model's maximum sequence length")
+
+    ids = token_tensor(tokens)
+    x = F.embedding(model.embedding.word, ids)
+    x = F.add(x, F.slice_axis(model.embedding.position, 0, pos, pos + 1))
+    for index, layer in enumerate(model.layers):
+        h = layer.ln1(x)
+        q, k, v = layer.attn.wq(h), layer.attn.wk(h), layer.attn.wv(h)
+        cache.append(index, k, v)
+        ctxt = _decode_attention(layer.attn, q, cache.keys[index],
+                                 cache.values[index])
+        x = F.add(layer.attn.wo(ctxt), x)
+        x = F.add(layer.mlp(layer.ln2(x)), x)
+    logits = model.head.logits(x)
+    return np.asarray(logits.shards[0])[0]
+
+
+def generate_cached(model: GPTModel, prompt: np.ndarray, max_new_tokens: int,
+                    strategy: str = "greedy", top_k: int = 10,
+                    temperature: float = 1.0,
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """KV-cached autoregressive generation; same contract as
+    :func:`generate` (and verified to produce identical greedy output)."""
+    if strategy not in ("greedy", "top_k"):
+        raise ConfigError(f"unknown decoding strategy {strategy!r}")
+    rng = rng or np.random.default_rng(0)
+    ids = np.asarray(prompt, dtype=np.int64)
+    if ids.ndim != 2:
+        raise ConfigError("prompt must be (length, batch)")
+    max_len = model.config.seq_length
+
+    with no_grad(), evaluation(model):
+        cache = KVCache(len(model.layers))
+        logits = None
+        for position in range(ids.shape[0]):
+            logits = decode_step(model, cache, ids[position:position + 1])
+        for _ in range(max_new_tokens):
+            if cache.length >= max_len:
+                break
+            if strategy == "greedy":
+                nxt = np.argmax(logits, axis=-1)
+            else:
+                scaled = logits / temperature
+                k = min(top_k, scaled.shape[-1])
+                nxt = np.empty(scaled.shape[0], dtype=np.int64)
+                for j in range(scaled.shape[0]):
+                    top = np.argpartition(scaled[j], -k)[-k:]
+                    probs = np.exp(scaled[j][top] - scaled[j][top].max())
+                    probs /= probs.sum()
+                    nxt[j] = top[rng.choice(k, p=probs)]
+            ids = np.concatenate([ids, nxt[None, :]], axis=0)
+            if cache.length >= max_len:
+                break
+            logits = decode_step(model, cache, ids[-1:])
+    return ids

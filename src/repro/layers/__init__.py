@@ -1,0 +1,16 @@
+"""Serial reference transformer (the gold standard for the parallel model)."""
+
+from .attention import CoreAttention, SelfAttention
+from .dropout import Dropout
+from .embedding import GPTEmbedding, token_tensor
+from .layernorm import LayerNorm
+from .linear import Linear, init_weight
+from .mlp import MLP
+from .module import Module
+from .transformer import GPTModel, LMHead, Recompute, TransformerLayer
+
+__all__ = [
+    "CoreAttention", "Dropout", "GPTEmbedding", "GPTModel", "LMHead",
+    "LayerNorm", "Linear", "MLP", "Module", "Recompute", "SelfAttention",
+    "TransformerLayer", "init_weight", "token_tensor",
+]

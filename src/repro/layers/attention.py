@@ -1,0 +1,96 @@
+"""Serial multi-head self-attention (paper Figure 3)."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor, checkpoint
+from ..tensor import functions as F
+from ..tensor.functions import MaskSource
+from .dropout import Dropout
+from .linear import Linear
+from .module import Module
+
+
+class CoreAttention(Module):
+    """The attention core: QK^T -> scale -> causal mask -> softmax ->
+    dropout -> attention-over-V.
+
+    This is exactly the region the paper's *selective activation
+    recomputation* checkpoints (the red dashed box of Figure 3): large
+    activations (``5as^2b`` bytes), few FLOPs per element.  Inputs/outputs
+    are ``(s, b, h_local)`` tensors; ``num_heads`` is the number of heads
+    present locally (``a`` serial, ``a/t`` per tensor-parallel rank).
+    """
+
+    def __init__(self, num_heads: int, attention_dropout: float,
+                 head_shard_mode: str = "replicated", tag: str = "core",
+                 mask_source: Optional[MaskSource] = None):
+        self.num_heads = num_heads
+        self.dropout = Dropout(attention_dropout, mode=head_shard_mode,
+                               shard_axis=1, tag=f"{tag}.softmax_dropout",
+                               mask_source=mask_source)
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        s, b, h_local = q.shape
+        a = self.num_heads
+        d = h_local // a
+        # (s, b, h) -> (b, a, s, d) for Q and V; (b, a, d, s) for K^T.
+        qr = F.transpose(F.reshape(q, (s, b, a, d)), (1, 2, 0, 3))
+        kt = F.transpose(F.reshape(k, (s, b, a, d)), (1, 2, 3, 0))
+        vr = F.transpose(F.reshape(v, (s, b, a, d)), (1, 2, 0, 3))
+        # QK^T saves Q and K (the paper's 4sbh); its output is not saved
+        # because the scale/mask save nothing and softmax saves its output.
+        scores = F.matmul(qr, kt, category="attn_qk")
+        scores = F.scale(scores, 1.0 / math.sqrt(d))
+        scores = F.causal_mask(scores)
+        probs = F.softmax(scores)          # saves output: 2*a*s^2*b bytes
+        probs = self.dropout(probs)        # saves mask:     a*s^2*b bytes
+        ctxt = F.matmul(probs, vr, category="attn_context")  # saves probs-out + V
+        ctxt = F.transpose(ctxt, (2, 0, 1, 3))               # (s, b, a, d)
+        return F.reshape(ctxt, (s, b, h_local))
+
+
+class SelfAttention(Module):
+    """Q/K/V projections + attention core + output projection.
+
+    ``recompute_core=True`` enables selective activation recomputation:
+    the core runs under ``checkpoint`` so only its inputs (Q, K, V) are
+    stored and the ``5as^2b`` internals are rebuilt during backward.
+    """
+
+    def __init__(self, hidden_size: int, num_heads: int,
+                 attention_dropout: float = 0.1,
+                 recompute_core: bool = False,
+                 rng: Optional[np.random.Generator] = None,
+                 abstract: bool = False, tag: str = "attn",
+                 mask_source: Optional[MaskSource] = None):
+        if hidden_size % num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        self.hidden_size = hidden_size
+        self.num_heads = num_heads
+        self.recompute_core = recompute_core
+        self.tag = tag
+        common = dict(rng=rng, abstract=abstract)
+        self.wq = Linear(hidden_size, hidden_size, category="attn_qkv_input",
+                         name=f"{tag}.wq", **common)
+        self.wk = Linear(hidden_size, hidden_size, category="attn_qkv_input",
+                         name=f"{tag}.wk", **common)
+        self.wv = Linear(hidden_size, hidden_size, category="attn_qkv_input",
+                         name=f"{tag}.wv", **common)
+        self.wo = Linear(hidden_size, hidden_size, category="attn_proj_input",
+                         name=f"{tag}.wo", **common)
+        self.core = CoreAttention(num_heads, attention_dropout,
+                                  head_shard_mode="replicated",
+                                  tag=tag, mask_source=mask_source)
+
+    def forward(self, x: Tensor) -> Tensor:
+        q, k, v = self.wq(x), self.wk(x), self.wv(x)
+        if self.recompute_core:
+            ctxt = checkpoint(self.core.forward, q, k, v, label=f"{self.tag}.core")
+        else:
+            ctxt = self.core(q, k, v)
+        return self.wo(ctxt)

@@ -1,0 +1,32 @@
+"""Dropout module: holds probability, sharding mode and mask tag."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..tensor import Tensor
+from ..tensor import functions as F
+from ..tensor.functions import MaskSource
+from .module import Module
+
+
+class Dropout(Module):
+    """Inverted dropout; stores a 1-byte mask per element for backward.
+
+    ``mode="replicated"`` applies one identical mask on every rank (the
+    TP-without-SP regions where activations are replicated); ``mode=
+    "sharded"`` treats each rank's shard as slice ``rank`` of the full
+    tensor along ``shard_axis`` (sequence or head sharding).
+    """
+
+    def __init__(self, p: float, mode: str = "replicated", shard_axis: int = 0,
+                 tag: str = "dropout", mask_source: Optional[MaskSource] = None):
+        self.p = p
+        self.mode = mode
+        self.shard_axis = shard_axis
+        self.tag = tag
+        self.mask_source = mask_source
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, mode=self.mode, shard_axis=self.shard_axis,
+                         tag=self.tag, mask_source=self.mask_source)

@@ -1,0 +1,58 @@
+"""Serial input embeddings: word + learned positional, then dropout."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import FP16, INT64, Tensor, parameter
+from ..tensor import functions as F
+from ..tensor.functions import MaskSource
+from .dropout import Dropout
+from .linear import init_weight
+from .module import Module
+
+
+def token_tensor(ids: np.ndarray, world: int = 1) -> Tensor:
+    """Wrap integer token ids ``(s, b)`` as a non-differentiable tensor,
+    replicated across ``world`` ranks (every rank sees the same tokens)."""
+    arr = np.asarray(ids, dtype=np.int64)
+    return Tensor([arr] * world, dtype=INT64, requires_grad=False,
+                  layout="replicated", name="ids")
+
+
+class GPTEmbedding(Module):
+    """Word-embedding lookup + positional embeddings + embedding dropout.
+
+    Per the paper (Section 4.3) the lookups store nothing of consequence
+    (only the integer ids); the dropout mask is the ``sbh`` term.
+    """
+
+    def __init__(self, vocab_size: int, hidden_size: int, max_seq_length: int,
+                 hidden_dropout: float = 0.1,
+                 rng: Optional[np.random.Generator] = None,
+                 abstract: bool = False,
+                 mask_source: Optional[MaskSource] = None):
+        self.vocab_size = vocab_size
+        self.hidden_size = hidden_size
+        self.max_seq_length = max_seq_length
+        self.word = parameter(
+            init_weight(rng, (vocab_size, hidden_size), abstract),
+            dtype=FP16, name="embedding.word",
+        )
+        # Stored (s, 1, h) so it broadcasts over the batch dimension.
+        self.position = parameter(
+            init_weight(rng, (max_seq_length, 1, hidden_size), abstract),
+            dtype=FP16, name="embedding.position",
+        )
+        self.dropout = Dropout(hidden_dropout, mode="replicated",
+                               tag="embedding.dropout", mask_source=mask_source)
+
+    def forward(self, ids: Tensor) -> Tensor:
+        emb = F.embedding(self.word, ids)
+        position = self.position
+        if ids.shape[0] < self.max_seq_length:
+            position = F.slice_axis(position, 0, 0, ids.shape[0])
+        emb = F.add(emb, position)
+        return self.dropout(emb)

@@ -1,0 +1,36 @@
+"""Serial layer normalization module."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import FP16, Tensor, parameter
+from ..tensor import functions as F
+from ..tensor.backend import AbstractArray
+from .module import Module
+
+
+class LayerNorm(Module):
+    """Layer norm over the last axis with learnable gain/bias.
+
+    Saves only its input (``2sbh`` in the paper's accounting); statistics
+    are recomputed in backward.
+    """
+
+    def __init__(self, hidden_size: int, eps: float = 1e-5,
+                 abstract: bool = False, world: int = 1, name: str = "ln"):
+        self.hidden_size = hidden_size
+        self.eps = eps
+        if abstract:
+            gamma = [AbstractArray((hidden_size,)) for _ in range(world)]
+            beta = [AbstractArray((hidden_size,)) for _ in range(world)]
+        else:
+            gamma = [np.ones(hidden_size) for _ in range(world)]
+            beta = [np.zeros(hidden_size) for _ in range(world)]
+        self.gamma = parameter(gamma, dtype=FP16, name=f"{name}.gamma")
+        self.beta = parameter(beta, dtype=FP16, name=f"{name}.beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layernorm(x, self.gamma, self.beta, eps=self.eps)

@@ -1,0 +1,55 @@
+"""Serial (non-parallel) linear layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import FP16, Tensor, from_numpy, parameter
+from ..tensor import functions as F
+from ..tensor.backend import AbstractArray
+from .module import Module
+
+
+def init_weight(rng: Optional[np.random.Generator], shape, abstract: bool,
+                world: int = 1, std: float = 0.02):
+    """Normal(0, std) initialization, or shape-only in abstract mode."""
+    if abstract:
+        return [AbstractArray(shape) for _ in range(world)]
+    assert rng is not None
+    return [rng.normal(0.0, std, size=shape) for _ in range(world)]
+
+
+class Linear(Module):
+    """``y = x @ W + b`` with ``W`` of shape ``(in_features, out_features)``.
+
+    The matmul saves its input at 2 bytes/element — this is the "linear
+    projection stores its input activations" term of the paper's
+    accounting.  ``category`` labels that saved buffer in the memory
+    tracker's per-category breakdown.
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None,
+                 abstract: bool = False, bias: bool = True,
+                 category: str = "linear_input", name: str = "linear"):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.category = category
+        self.weight = parameter(
+            init_weight(rng, (in_features, out_features), abstract),
+            dtype=FP16, layout="replicated", name=f"{name}.weight",
+        )
+        self.bias: Optional[Tensor] = None
+        if bias:
+            self.bias = parameter(
+                init_weight(rng, (out_features,), abstract),
+                dtype=FP16, layout="replicated", name=f"{name}.bias",
+            )
+
+    def forward(self, x: Tensor) -> Tensor:
+        y = F.matmul(x, self.weight, category=self.category)
+        if self.bias is not None:
+            y = F.add(y, self.bias)
+        return y

@@ -1,0 +1,34 @@
+"""Serial transformer MLP block: h -> 4h -> GeLU -> h."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor import functions as F
+from .linear import Linear
+from .module import Module
+
+
+class MLP(Module):
+    """Two-layer feed-forward network (paper Section 3).
+
+    Activation memory (Section 4.1): fc1 saves its input (``2sbh``), GeLU
+    saves its input (``8sbh``), fc2 saves its input (``8sbh``) — 18sbh of
+    the MLP's 19sbh; the trailing dropout (owned by the transformer layer)
+    saves the last ``sbh`` as a mask.
+    """
+
+    def __init__(self, hidden_size: int, ffn_hidden_size: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 abstract: bool = False, tag: str = "mlp"):
+        ffn = ffn_hidden_size if ffn_hidden_size is not None else 4 * hidden_size
+        self.fc1 = Linear(hidden_size, ffn, rng=rng, abstract=abstract,
+                          category="mlp_fc1_input", name=f"{tag}.fc1")
+        self.fc2 = Linear(ffn, hidden_size, rng=rng, abstract=abstract,
+                          category="mlp_fc2_input", name=f"{tag}.fc2")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(F.gelu(self.fc1(x)))

@@ -1,0 +1,74 @@
+"""Minimal module system: parameter registration and traversal."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..tensor import Tensor
+
+
+class Module:
+    """Base class: walks attributes to find parameters and submodules."""
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        seen = set()
+        for name, value in vars(self).items():
+            path = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.is_param:
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{path}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{path}.{i}.")
+                    elif isinstance(item, Tensor) and item.is_param and id(item) not in seen:
+                        seen.add(id(item))
+                        yield f"{path}.{i}", item
+
+    def parameters(self) -> List[Tensor]:
+        seen = set()
+        out = []
+        for _name, p in self.named_parameters():
+            if id(p) not in seen:
+                seen.add(id(p))
+                out.append(p)
+        return out
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def modules(self):
+        """Yield this module and every (recursively) contained submodule."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def num_parameters(self) -> int:
+        """Total parameter elements summed over unique parameter tensors.
+
+        For sharded parameters this counts each rank's shard, i.e. the
+        global parameter count (shards partition the full tensor).
+        Replicated parameters are counted once.
+        """
+        total = 0
+        for p in self.parameters():
+            if "shard" in p.layout:
+                total += p.size * p.world
+            else:
+                total += p.size
+        return total

@@ -1,0 +1,164 @@
+"""Serial transformer layer and full GPT language model (paper Figure 2).
+
+This is the gold-standard reference: the parallel implementations in
+:mod:`repro.parallel` are verified to produce bit-comparable outputs and
+gradients against this model.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import ConfigError
+from ..tensor import FP32, Tensor, checkpoint
+from ..tensor import functions as F
+from ..tensor.functions import MaskSource
+from .attention import SelfAttention
+from .dropout import Dropout
+from .embedding import GPTEmbedding
+from .layernorm import LayerNorm
+from .linear import Linear
+from .mlp import MLP
+from .module import Module
+
+
+class Recompute(str, Enum):
+    """Activation recomputation strategy (paper Sections 1 and 5)."""
+
+    NONE = "none"            # store everything (baseline-no-recompute)
+    SELECTIVE = "selective"  # checkpoint only the attention core (Fig. 3)
+    FULL = "full"            # checkpoint each whole transformer layer
+    #: The variant the paper mentions and rejects (Section 5): store only a
+    #: 1/t sequence-slice of the checkpointed layer input on each tensor-
+    #: parallel rank (2sbhL/t) at the cost of an extra all-gather per layer
+    #: during recomputation.  Only meaningful without sequence parallelism
+    #: (with SP the input is already sharded).
+    FULL_SHARDED = "full_sharded"
+
+
+class TransformerLayer(Module):
+    """One pre-LN transformer layer: LN -> attention -> dropout -> residual
+    -> LN -> MLP -> dropout -> residual (paper Figure 2)."""
+
+    def __init__(self, hidden_size: int, num_heads: int,
+                 attention_dropout: float = 0.1, hidden_dropout: float = 0.1,
+                 recompute: Recompute = Recompute.NONE,
+                 rng: Optional[np.random.Generator] = None,
+                 abstract: bool = False, tag: str = "layer",
+                 mask_source: Optional[MaskSource] = None):
+        self.recompute = Recompute(recompute)
+        self.tag = tag
+        self.ln1 = LayerNorm(hidden_size, abstract=abstract, name=f"{tag}.ln1")
+        self.attn = SelfAttention(
+            hidden_size, num_heads, attention_dropout=attention_dropout,
+            recompute_core=(self.recompute == Recompute.SELECTIVE),
+            rng=rng, abstract=abstract, tag=f"{tag}.attn", mask_source=mask_source,
+        )
+        self.attn_dropout = Dropout(hidden_dropout, mode="replicated",
+                                    tag=f"{tag}.attn_dropout", mask_source=mask_source)
+        self.ln2 = LayerNorm(hidden_size, abstract=abstract, name=f"{tag}.ln2")
+        self.mlp = MLP(hidden_size, rng=rng, abstract=abstract, tag=f"{tag}.mlp")
+        self.mlp_dropout = Dropout(hidden_dropout, mode="replicated",
+                                   tag=f"{tag}.mlp_dropout", mask_source=mask_source)
+
+    def _body(self, x: Tensor) -> Tensor:
+        attn_out = self.attn(self.ln1(x))
+        x = F.add(self.attn_dropout(attn_out), x)
+        mlp_out = self.mlp(self.ln2(x))
+        return F.add(self.mlp_dropout(mlp_out), x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.recompute in (Recompute.FULL, Recompute.FULL_SHARDED):
+            # Full activation recomputation: store only the layer input
+            # (2sbh) and rebuild everything in backward.  (FULL_SHARDED is
+            # a tensor-parallel concept; serially it is identical to FULL.)
+            return checkpoint(self._body, x, label=self.tag)
+        return self._body(x)
+
+
+class LMHead(Module):
+    """Final layer-norm + projection to the vocabulary + fp32 loss.
+
+    Section 4.3 accounting: the layer-norm saves ``2sbh``, the projection
+    saves its input ``2sbh``, and the cross-entropy saves the fp32 logits
+    (``4sbv``).
+    """
+
+    def __init__(self, hidden_size: int, vocab_size: int,
+                 rng: Optional[np.random.Generator] = None,
+                 abstract: bool = False):
+        self.ln_f = LayerNorm(hidden_size, abstract=abstract, name="head.ln_f")
+        self.proj = Linear(hidden_size, vocab_size, rng=rng, abstract=abstract,
+                           bias=False, category="lm_head_input", name="head.proj")
+
+    def logits(self, x: Tensor) -> Tensor:
+        return F.cast(self.proj(self.ln_f(x)), FP32)
+
+    def forward(self, x: Tensor, targets: Tensor,
+                loss_mask: Optional[Tensor] = None) -> Tensor:
+        return F.cross_entropy(self.logits(x), targets, loss_mask=loss_mask)
+
+
+class GPTModel(Module):
+    """The full single-stack decoder used throughout the paper."""
+
+    def __init__(self, config: ModelConfig,
+                 attention_dropout: float = 0.1, hidden_dropout: float = 0.1,
+                 recompute: Recompute = Recompute.NONE,
+                 recompute_num_layers: Optional[int] = None,
+                 recompute_remainder: Recompute = Recompute.NONE,
+                 seed: int = 0, abstract: bool = False,
+                 mask_source: Optional[MaskSource] = None):
+        rng = None if abstract else np.random.default_rng(seed)
+        self.config = config
+        self.recompute = Recompute(recompute)
+        #: checkpoint only the first N layers (the "simple approach" the
+        #: paper's Section 5 contrasts with selective recomputation);
+        #: ``recompute_remainder`` is the strategy for the other layers
+        #: (the planner's mixed plans use SELECTIVE there).
+        self.recompute_remainder = Recompute(recompute_remainder)
+        self.recompute_num_layers = (
+            config.num_layers if recompute_num_layers is None else recompute_num_layers
+        )
+        if not (0 <= self.recompute_num_layers <= config.num_layers):
+            raise ConfigError("recompute_num_layers out of range")
+        self.embedding = GPTEmbedding(
+            config.vocab_size, config.hidden_size, config.seq_length,
+            hidden_dropout=hidden_dropout, rng=rng, abstract=abstract,
+            mask_source=mask_source,
+        )
+        self.layers = [
+            TransformerLayer(
+                config.hidden_size, config.num_heads,
+                attention_dropout=attention_dropout, hidden_dropout=hidden_dropout,
+                recompute=self._layer_strategy(i),
+                rng=rng, abstract=abstract, tag=f"layer{i}", mask_source=mask_source,
+            )
+            for i in range(config.num_layers)
+        ]
+        self.head = LMHead(config.hidden_size, config.vocab_size,
+                           rng=rng, abstract=abstract)
+
+    def _layer_strategy(self, index: int) -> Recompute:
+        if (self.recompute in (Recompute.FULL, Recompute.FULL_SHARDED)
+                and index >= self.recompute_num_layers):
+            return self.recompute_remainder
+        return self.recompute
+
+    def hidden_states(self, ids: Tensor) -> Tensor:
+        x = self.embedding(ids)
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def logits(self, ids: Tensor) -> Tensor:
+        return self.head.logits(self.hidden_states(ids))
+
+    def forward(self, ids: Tensor, targets: Tensor,
+                loss_mask: Optional[Tensor] = None) -> Tensor:
+        """(Masked) token-mean cross-entropy loss."""
+        return self.head(self.hidden_states(ids), targets, loss_mask=loss_mask)

@@ -1,0 +1,205 @@
+"""Closed-form activation-memory model (paper Section 4, Equations 1-6).
+
+All results are **bytes per rank** (per GPU).  These formulas are
+cross-validated against the instrumented simulator in
+``tests/test_memory_crosscheck.py``: running the real layer graph and
+counting saved bytes reproduces every row of Table 2 exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from ..config import ExperimentConfig, ModelConfig
+from ..errors import ConfigError
+from ..layers.transformer import Recompute
+
+RecomputeLike = Union[Recompute, str]
+
+
+def per_layer_activation_bytes(
+    model: ModelConfig,
+    microbatch_size: int,
+    tensor_parallel: int = 1,
+    sequence_parallel: bool = False,
+    recompute: RecomputeLike = Recompute.NONE,
+) -> float:
+    """Activation bytes per transformer layer per rank (Table 2).
+
+    ==============================  ======================================
+    no parallelism                  ``sbh (34 + 5 as/h)``            (Eq 1)
+    tensor parallel                 ``sbh (10 + 24/t + 5as/(ht))``   (Eq 2)
+    tensor + sequence parallel      ``sbh/t (34 + 5 as/h)``          (Eq 4)
+    TP + selective recompute        ``sbh (10 + 24/t)``
+    TP + SP + selective recompute   ``sbh 34/t``
+    full recompute                  ``2 sbh`` (``2 sbh / t`` with SP)
+    ==============================  ======================================
+    """
+    recompute = Recompute(recompute)
+    s, b, h, a = model.seq_length, microbatch_size, model.hidden_size, model.num_heads
+    t = tensor_parallel
+    if t < 1:
+        raise ConfigError("tensor_parallel must be >= 1")
+    if sequence_parallel and t == 1:
+        # SP without TP degenerates to the serial layout.
+        sequence_parallel = False
+    sbh = s * b * h
+
+    if recompute == Recompute.FULL_SHARDED:
+        # Section 5's rejected alternative: "further reduced to 2sbhL/t if
+        # we only store a portion of activations in each tensor parallel
+        # rank" — at the price of an extra all-gather per layer.
+        return 2.0 * sbh / t
+    if recompute == Recompute.FULL:
+        # Only the layer input is stored; sequence parallelism shards it.
+        return 2.0 * sbh / (t if sequence_parallel else 1)
+
+    attn_score_term = 5.0 * a * s / h if recompute == Recompute.NONE else 0.0
+    if sequence_parallel:
+        return sbh / t * (34.0 + attn_score_term)
+    return sbh * (10.0 + (24.0 + attn_score_term) / t)
+
+
+def per_layer_breakdown(
+    model: ModelConfig,
+    microbatch_size: int,
+    tensor_parallel: int = 1,
+    sequence_parallel: bool = False,
+    recompute: RecomputeLike = Recompute.NONE,
+) -> Dict[str, float]:
+    """Per-layer bytes split into the paper's Section 4.1 constituents."""
+    recompute = Recompute(recompute)
+    s, b, h, a = model.seq_length, microbatch_size, model.hidden_size, model.num_heads
+    t = tensor_parallel
+    sbh = float(s * b * h)
+    rep = sbh / t if sequence_parallel else sbh  # "replicated-region" divisor
+    if recompute == Recompute.FULL_SHARDED:
+        return {"checkpoint_input": 2.0 * sbh / t}
+    if recompute == Recompute.FULL:
+        return {"checkpoint_input": 2.0 * sbh / (t if sequence_parallel else 1)}
+    core = 0.0 if recompute == Recompute.SELECTIVE else 5.0 * a * s * s * b / t
+    return {
+        "layernorm_inputs": 4.0 * rep,
+        "attn_qkv_input": 2.0 * rep,
+        "attn_qkv_outputs": 6.0 * sbh / t,   # Q, K, V (selective: checkpoint inputs)
+        "attn_core": core,                   # softmax out + mask + dropout out
+        "attn_proj_input": 2.0 * sbh / t,
+        "attn_dropout_mask": 1.0 * rep,
+        "mlp_fc1_input": 2.0 * rep,
+        "mlp_gelu_input": 8.0 * sbh / t,
+        "mlp_fc2_input": 8.0 * sbh / t,
+        "mlp_dropout_mask": 1.0 * rep,
+    }
+
+
+def interleave_memory_factor(pipeline_parallel: int, interleave_stages: int) -> float:
+    """The ``(1 + (p-1)/(pm))`` first-stage multiplier of Section 4.2.3."""
+    p, m = pipeline_parallel, interleave_stages
+    if p <= 1 or m <= 1:
+        return 1.0
+    return 1.0 + (p - 1) / (p * m)
+
+
+def first_stage_layers_worth(num_layers: int, pipeline_parallel: int,
+                             interleave_stages: int = 1) -> float:
+    """How many layers' worth of activations the first stage holds.
+
+    1F1B keeps ``p`` microbatches in flight on stage 0, each spanning
+    ``L/p`` layers -> ``L`` layers' worth regardless of ``p``; the
+    interleaved schedule inflates this by ``(1 + (p-1)/(pm))``.
+    """
+    return num_layers * interleave_memory_factor(pipeline_parallel, interleave_stages)
+
+
+def total_activation_bytes(
+    config: ExperimentConfig,
+    recompute: RecomputeLike = Recompute.NONE,
+    sequence_parallel: Optional[bool] = None,
+    include_extras: bool = False,
+) -> float:
+    """First-pipeline-stage activation bytes per rank (Equations 5-6).
+
+    ``include_extras`` adds the Section 4.3 input/output terms (embedding
+    dropout, final layer-norm, output projection, fp32 logits) that the
+    paper shows are <0.01% and drops from Equation 5.
+    """
+    model, par, train = config.model, config.parallel, config.training
+    sp = par.sequence_parallel if sequence_parallel is None else sequence_parallel
+    per_layer = per_layer_activation_bytes(
+        model, train.micro_batch_size, tensor_parallel=par.tensor_parallel,
+        sequence_parallel=sp, recompute=recompute,
+    )
+    layers_worth = first_stage_layers_worth(
+        model.num_layers, par.pipeline_parallel, par.interleave_stages,
+    )
+    total = per_layer * layers_worth
+    if include_extras:
+        total += input_output_extras_bytes(config, sequence_parallel=sp)
+    return total
+
+
+def input_output_extras_bytes(config: ExperimentConfig,
+                              sequence_parallel: Optional[bool] = None) -> float:
+    """Section 4.3: embedding dropout + (if p == 1) final LN, output
+    projection input and fp32 logits; all divided by ``t``."""
+    model, par, train = config.model, config.parallel, config.training
+    s, b, h, v = model.seq_length, train.micro_batch_size, model.hidden_size, model.vocab_size
+    t, p = par.tensor_parallel, par.pipeline_parallel
+    del sequence_parallel  # the paper's extras already assume the SP layout
+    extras = s * b * h * p / t  # embedding dropout masks, p microbatches
+    if p == 1:
+        extras += 4.0 * s * b * h / t * (1.0 + v / h)
+    return extras
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One technique row of Table 2 with its per-layer byte count."""
+
+    technique: str
+    bytes_per_layer: float
+    formula: str
+
+
+def table2(model: ModelConfig, microbatch_size: int, tensor_parallel: int,
+           extended: bool = False) -> list:
+    """All six rows of Table 2 (+ the rejected sharded-checkpoint variant
+    when ``extended``) for a given model/batch/TP size."""
+    t = tensor_parallel
+    mk = per_layer_activation_bytes
+    b = microbatch_size
+    rows = [
+        Table2Row("no parallelism",
+                  mk(model, b), "sbh(34 + 5as/h)"),
+        Table2Row("tensor parallel (baseline)",
+                  mk(model, b, t), "sbh(10 + 24/t + 5as/ht)"),
+        Table2Row("tensor + sequence parallel",
+                  mk(model, b, t, sequence_parallel=True), "sbh(34/t + 5as/ht)"),
+        Table2Row("tensor parallel + selective recompute",
+                  mk(model, b, t, recompute=Recompute.SELECTIVE), "sbh(10 + 24/t)"),
+        Table2Row("tensor + sequence parallel + selective recompute",
+                  mk(model, b, t, sequence_parallel=True, recompute=Recompute.SELECTIVE),
+                  "sbh(34/t)"),
+        Table2Row("full activation recomputation",
+                  mk(model, b, t, recompute=Recompute.FULL), "sbh(2)"),
+    ]
+    if extended:
+        rows.append(Table2Row(
+            "full recompute, sharded inputs (rejected: extra AG/layer)",
+            mk(model, b, t, recompute=Recompute.FULL_SHARDED), "sbh(2/t)"))
+    return rows
+
+
+def memory_fraction_of_tp_baseline(
+    model: ModelConfig, microbatch_size: int, tensor_parallel: int,
+    sequence_parallel: bool, recompute: RecomputeLike,
+) -> float:
+    """Figure 7's y-axis: per-layer bytes as a fraction of the
+    tensor-parallel no-recompute baseline (Equation 2)."""
+    baseline = per_layer_activation_bytes(model, microbatch_size, tensor_parallel)
+    value = per_layer_activation_bytes(
+        model, microbatch_size, tensor_parallel,
+        sequence_parallel=sequence_parallel, recompute=recompute,
+    )
+    return value / baseline

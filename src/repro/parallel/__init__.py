@@ -1,0 +1,28 @@
+"""The paper's contribution: tensor + sequence parallelism with selective
+activation recomputation."""
+
+from ..layers.transformer import Recompute
+from .attention import ParallelSelfAttention, fuse_qkv, fuse_qkv_bias
+from .embedding import VocabParallelEmbedding
+from .loss import vocab_parallel_cross_entropy
+from .mappings import (
+    all_gather_matmul,
+    copy_to_tensor_parallel_region,
+    gather_from_sequence_parallel_region,
+    reduce_from_tensor_parallel_region,
+    scatter_split_sequence,
+    scatter_to_sequence_parallel_region,
+)
+from .mlp import ParallelMLP
+from .tp_layers import ColumnParallelLinear, RowParallelLinear
+from .transformer import ParallelGPTModel, ParallelLMHead, ParallelTransformerLayer
+
+__all__ = [
+    "ColumnParallelLinear", "ParallelGPTModel", "ParallelLMHead", "ParallelMLP",
+    "ParallelSelfAttention", "ParallelTransformerLayer", "Recompute",
+    "RowParallelLinear", "VocabParallelEmbedding", "all_gather_matmul",
+    "copy_to_tensor_parallel_region", "fuse_qkv", "fuse_qkv_bias",
+    "gather_from_sequence_parallel_region", "reduce_from_tensor_parallel_region",
+    "scatter_split_sequence", "scatter_to_sequence_parallel_region",
+    "vocab_parallel_cross_entropy",
+]

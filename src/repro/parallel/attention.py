@@ -1,0 +1,107 @@
+"""Tensor-parallel self-attention (Figures 4-5).
+
+Heads are partitioned across the tensor-parallel group: the fused QKV
+projection is a :class:`ColumnParallelLinear` whose per-rank columns hold
+that rank's heads' Q, K and V; the attention core then runs entirely
+locally on ``a/t`` heads; the output projection is a
+:class:`RowParallelLinear` closing the block with ``f̄``/``ḡ``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..comm.process_group import ProcessGroup
+from ..errors import ConfigError
+from ..layers.attention import CoreAttention
+from ..layers.module import Module
+from ..tensor import Tensor, checkpoint
+from ..tensor import functions as F
+from ..tensor.functions import MaskSource
+
+
+def fuse_qkv(wq: np.ndarray, wk: np.ndarray, wv: np.ndarray, t: int) -> np.ndarray:
+    """Arrange separate Q/K/V weights ``(h, h)`` into one fused ``(h, 3h)``
+    matrix whose ``i``-th column-parallel block is
+    ``[wq_cols_i | wk_cols_i | wv_cols_i]`` — so a plain column split
+    hands each rank its own heads' projections."""
+    h = wq.shape[1]
+    if h % t != 0:
+        raise ConfigError(f"hidden size {h} not divisible by t={t}")
+    per = h // t
+    blocks = []
+    for i in range(t):
+        sl = slice(i * per, (i + 1) * per)
+        blocks.extend([wq[:, sl], wk[:, sl], wv[:, sl]])
+    return np.concatenate(blocks, axis=1)
+
+
+def fuse_qkv_bias(bq: np.ndarray, bk_: np.ndarray, bv: np.ndarray, t: int) -> np.ndarray:
+    per = bq.shape[0] // t
+    blocks = []
+    for i in range(t):
+        sl = slice(i * per, (i + 1) * per)
+        blocks.extend([bq[sl], bk_[sl], bv[sl]])
+    return np.concatenate(blocks)
+
+
+class ParallelSelfAttention(Module):
+    """Self-attention over ``a/t`` local heads per rank.
+
+    ``recompute_core=True`` is the paper's selective activation
+    recomputation: the per-rank attention core is checkpointed, storing
+    only Q/K/V (``6sbh/t``) instead of the ``5as^2b/t`` internals.
+    """
+
+    def __init__(self, hidden_size: int, num_heads: int, group: ProcessGroup,
+                 sequence_parallel: bool = False, fuse_sp_gather: bool = True,
+                 attention_dropout: float = 0.1, recompute_core: bool = False,
+                 serial_weights: Optional[dict] = None,
+                 abstract: bool = False, tag: str = "attn",
+                 mask_source: Optional[MaskSource] = None):
+        from .tp_layers import ColumnParallelLinear, RowParallelLinear
+
+        t = group.size
+        if num_heads % t != 0:
+            raise ConfigError(f"num_heads {num_heads} not divisible by t={t}")
+        self.hidden_size = hidden_size
+        self.num_heads = num_heads
+        self.group = group
+        self.recompute_core = recompute_core
+        self.tag = tag
+
+        sw = serial_weights or {}
+        full_qkv = full_qkv_bias = full_wo = full_wo_bias = None
+        if not abstract:
+            full_qkv = fuse_qkv(sw["wq"], sw["wk"], sw["wv"], t)
+            full_qkv_bias = fuse_qkv_bias(sw["bq"], sw["bk"], sw["bv"], t)
+            full_wo = sw["wo"]
+            full_wo_bias = sw["bo"]
+
+        self.qkv = ColumnParallelLinear(
+            hidden_size, 3 * hidden_size, group,
+            sequence_parallel=sequence_parallel, fuse_sp_gather=fuse_sp_gather,
+            full_weight=full_qkv, full_bias=full_qkv_bias, abstract=abstract,
+            category="attn_qkv_input", name=f"{tag}.qkv",
+        )
+        self.core = CoreAttention(
+            num_heads // t, attention_dropout,
+            head_shard_mode="sharded", tag=tag, mask_source=mask_source,
+        )
+        self.wo = RowParallelLinear(
+            hidden_size, hidden_size, group,
+            sequence_parallel=sequence_parallel,
+            full_weight=full_wo, full_bias=full_wo_bias, abstract=abstract,
+            category="attn_proj_input", name=f"{tag}.wo",
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        qkv = self.qkv(x)
+        q, k, v = F.split(qkv, 3, axis=-1)
+        if self.recompute_core:
+            ctxt = checkpoint(self.core.forward, q, k, v, label=f"{self.tag}.core")
+        else:
+            ctxt = self.core(q, k, v)
+        return self.wo(ctxt)

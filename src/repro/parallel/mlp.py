@@ -1,0 +1,45 @@
+"""Tensor-parallel MLP (Figure 6): column-parallel h->4h, GeLU,
+row-parallel 4h->h."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..comm.process_group import ProcessGroup
+from ..layers.module import Module
+from ..tensor import Tensor
+from ..tensor import functions as F
+
+
+class ParallelMLP(Module):
+    """``Z_i = GeLU(Y A_i^c)``, ``W_i = Z_i B_i^r``, combined by f̄/ḡ.
+
+    Splitting A by columns keeps the GeLU local ("we avoid communications
+    and arrive at W_1 and W_2", Section 4.2.2): GeLU is elementwise, so it
+    commutes with the column partition but would not with a row partition.
+    """
+
+    def __init__(self, hidden_size: int, group: ProcessGroup,
+                 sequence_parallel: bool = False, fuse_sp_gather: bool = True,
+                 serial_weights: Optional[dict] = None,
+                 abstract: bool = False, tag: str = "mlp"):
+        from .tp_layers import ColumnParallelLinear, RowParallelLinear
+
+        sw = serial_weights or {}
+        self.fc1 = ColumnParallelLinear(
+            hidden_size, 4 * hidden_size, group,
+            sequence_parallel=sequence_parallel, fuse_sp_gather=fuse_sp_gather,
+            full_weight=None if abstract else sw["w1"],
+            full_bias=None if abstract else sw["b1"],
+            abstract=abstract, category="mlp_fc1_input", name=f"{tag}.fc1",
+        )
+        self.fc2 = RowParallelLinear(
+            4 * hidden_size, hidden_size, group,
+            sequence_parallel=sequence_parallel,
+            full_weight=None if abstract else sw["w2"],
+            full_bias=None if abstract else sw["b2"],
+            abstract=abstract, category="mlp_fc2_input", name=f"{tag}.fc2",
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(F.gelu(self.fc1(x)))

@@ -1,0 +1,151 @@
+"""Column- and row-parallel linear layers (Megatron-LM [19], Figure 4).
+
+``ColumnParallelLinear`` splits the weight along its output columns
+(``A = [A_1^c, A_2^c]``); each rank computes against the full input, which
+is obtained by ``f`` (tensor parallelism) or ``g`` (sequence parallelism).
+``RowParallelLinear`` splits along input rows (``B = [B_1^r; B_2^r]``);
+per-rank outputs are partial sums combined by ``f̄`` (all-reduce) or ``ḡ``
+(reduce-scatter into sequence shards).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..comm.process_group import ProcessGroup
+from ..errors import ConfigError
+from ..tensor import FP16, Tensor, parameter
+from ..tensor import functions as F
+from ..tensor.backend import AbstractArray
+from ..layers.module import Module
+from .mappings import (
+    all_gather_matmul,
+    copy_to_tensor_parallel_region,
+    gather_from_sequence_parallel_region,
+    reduce_from_tensor_parallel_region,
+    scatter_to_sequence_parallel_region,
+)
+
+
+def _shard_weight(full: Optional[np.ndarray], shape, world: int, axis: int,
+                  abstract: bool):
+    """Per-rank weight shards: slices of ``full``, or shape-only."""
+    shard_shape = list(shape)
+    shard_shape[axis] //= world
+    if abstract:
+        return [AbstractArray(shard_shape) for _ in range(world)]
+    assert full is not None and full.shape == tuple(shape)
+    # Explicit copies: an axis-0 split is a contiguous *view* of the source
+    # weight, and parameter shards must own their storage (the optimizer
+    # updates them in place).
+    return [p.copy() for p in np.split(full, world, axis=axis)]
+
+
+class ColumnParallelLinear(Module):
+    """``Y_i = X @ A_i^c (+ b_i)`` with per-rank output width ``out/t``.
+
+    ``sequence_parallel=False``: input is replicated; ``f`` is applied
+    (identity fwd / all-reduce bwd) unless the caller already did
+    (``apply_f=False`` for fused QKV sharing one ``f``).
+
+    ``sequence_parallel=True``: input is sequence-sharded; the fused
+    all-gather-matmul saves only the local shard (the paper's ``Y_i^s``
+    trick).  Set ``fuse_sp_gather=False`` to ablate: a separate ``g``
+    followed by a plain matmul, which stores the **full** gathered input
+    on every rank.
+    """
+
+    def __init__(self, in_features: int, out_features: int, group: ProcessGroup,
+                 sequence_parallel: bool = False, fuse_sp_gather: bool = True,
+                 apply_f: bool = True, bias: bool = True,
+                 full_weight: Optional[np.ndarray] = None,
+                 full_bias: Optional[np.ndarray] = None,
+                 abstract: bool = False, category: str = "linear_input",
+                 name: str = "col_linear"):
+        t = group.size
+        if out_features % t != 0:
+            raise ConfigError(f"out_features {out_features} not divisible by t={t}")
+        self.group = group
+        self.sequence_parallel = sequence_parallel
+        self.fuse_sp_gather = fuse_sp_gather
+        self.apply_f = apply_f
+        self.category = category
+        self.weight = parameter(
+            _shard_weight(full_weight, (in_features, out_features), t, 1, abstract),
+            dtype=FP16, layout="shard(dim=1)", name=f"{name}.weight",
+        )
+        self.bias: Optional[Tensor] = None
+        if bias:
+            bias_shards = (
+                [AbstractArray((out_features // t,)) for _ in range(t)]
+                if abstract
+                else [p.copy() for p in np.split(full_bias, t)]
+            )
+            self.bias = parameter(bias_shards, dtype=FP16, layout="shard(dim=0)",
+                                  name=f"{name}.bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.sequence_parallel:
+            if self.fuse_sp_gather:
+                y = all_gather_matmul(x, self.weight, self.group, axis=0,
+                                      category=self.category)
+            else:
+                full = gather_from_sequence_parallel_region(x, self.group, axis=0)
+                y = F.matmul(full, self.weight, category=self.category)
+        else:
+            if self.apply_f:
+                x = copy_to_tensor_parallel_region(x, self.group)
+            y = F.matmul(x, self.weight, category=self.category)
+        if self.bias is not None:
+            y = F.add(y, self.bias)
+        return y
+
+
+class RowParallelLinear(Module):
+    """``Y = sum_i X_i @ B_i^r (+ b)`` — input sharded along its last dim.
+
+    The partial products are combined by ``f̄`` (all-reduce, output
+    replicated) or, under sequence parallelism, by ``ḡ`` (reduce-scatter,
+    output sequence-sharded).  The bias is added *after* the reduction.
+    """
+
+    def __init__(self, in_features: int, out_features: int, group: ProcessGroup,
+                 sequence_parallel: bool = False, bias: bool = True,
+                 full_weight: Optional[np.ndarray] = None,
+                 full_bias: Optional[np.ndarray] = None,
+                 abstract: bool = False, category: str = "linear_input",
+                 name: str = "row_linear"):
+        t = group.size
+        if in_features % t != 0:
+            raise ConfigError(f"in_features {in_features} not divisible by t={t}")
+        self.group = group
+        self.sequence_parallel = sequence_parallel
+        self.category = category
+        self.weight = parameter(
+            _shard_weight(full_weight, (in_features, out_features), t, 0, abstract),
+            dtype=FP16, layout="shard(dim=0)", name=f"{name}.weight",
+        )
+        self.bias: Optional[Tensor] = None
+        if bias:
+            bias_shards = (
+                [AbstractArray((out_features,)) for _ in range(t)]
+                if abstract
+                else [full_bias.copy() for _ in range(t)]
+            )
+            self.bias = parameter(bias_shards, dtype=FP16, layout="replicated",
+                                  name=f"{name}.bias")
+        #: bias gradients are partial sums under SP and need an all-reduce
+        #: (see ParallelGPTModel.finish_grad_sync).
+        self.bias_grad_needs_sync = sequence_parallel
+
+    def forward(self, x: Tensor) -> Tensor:
+        partial = F.matmul(x, self.weight, category=self.category)
+        if self.sequence_parallel:
+            y = scatter_to_sequence_parallel_region(partial, self.group, axis=0)
+        else:
+            y = reduce_from_tensor_parallel_region(partial, self.group)
+        if self.bias is not None:
+            y = F.add(y, self.bias)
+        return y

@@ -1,0 +1,29 @@
+"""Roofline timing model: per-layer (Table 4, Figure 8) and end-to-end
+iteration time (Table 5)."""
+
+from .gpu import KernelCostModel, PhaseTimes
+from .iteration import (
+    DP_ALLREDUCE_EFFICIENCY,
+    IterationResult,
+    Table5Row,
+    embedding_times,
+    head_times,
+    iteration_time,
+    table5_row,
+)
+from .layer_timing import (
+    FIGURE8_SCHEMES,
+    TABLE4_EXPERIMENTS,
+    Table4Row,
+    figure8,
+    layer_oplog,
+    layer_times,
+    table4,
+)
+
+__all__ = [
+    "DP_ALLREDUCE_EFFICIENCY", "FIGURE8_SCHEMES", "IterationResult",
+    "KernelCostModel", "PhaseTimes", "TABLE4_EXPERIMENTS", "Table4Row",
+    "Table5Row", "embedding_times", "figure8", "head_times", "iteration_time",
+    "layer_oplog", "layer_times", "table4", "table5_row",
+]

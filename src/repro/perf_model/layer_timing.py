@@ -1,0 +1,137 @@
+"""Per-layer timing (paper Table 4 and Figure 8).
+
+A single transformer layer is executed **abstractly** (shape-only) with
+the op log attached; forward and backward run through the real autograd
+graph — including checkpoint re-execution for the recompute strategies —
+and the resulting op records are priced by the kernel cost model.
+The paper measured the same thing on hardware ("experiments were done on
+the 22B model with just one layer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..comm.process_group import ProcessGroup
+from ..config import ModelConfig
+from ..layers.transformer import Recompute
+from ..parallel.transformer import ParallelTransformerLayer
+from ..tensor import OpLog, Tensor, instrument
+from ..tensor.backend import AbstractArray
+from .gpu import KernelCostModel, PhaseTimes
+
+
+def layer_oplog(
+    model: ModelConfig,
+    microbatch_size: int,
+    tensor_parallel: int,
+    sequence_parallel: bool = False,
+    recompute: Recompute = Recompute.NONE,
+    fuse_sp_gather: bool = True,
+    attention_dropout: float = 0.1,
+    hidden_dropout: float = 0.1,
+) -> OpLog:
+    """Run one abstract layer forward+backward and return its op log."""
+    t = tensor_parallel
+    group = ProcessGroup(t, scope="tp")
+    layer = ParallelTransformerLayer(
+        model.hidden_size, model.num_heads, group,
+        sequence_parallel=sequence_parallel, fuse_sp_gather=fuse_sp_gather,
+        attention_dropout=attention_dropout, hidden_dropout=hidden_dropout,
+        recompute=recompute, abstract=True, tag="timed_layer",
+    )
+    s, b, h = model.seq_length, microbatch_size, model.hidden_size
+    if sequence_parallel:
+        shape = (s // t, b, h)
+        layout = "shard(dim=0)"
+    else:
+        shape = (s, b, h)
+        layout = "replicated"
+    x = Tensor([AbstractArray(shape) for _ in range(t)],
+               requires_grad=True, layout=layout)
+    log = OpLog()
+    with instrument(oplog=log):
+        y = layer(x)
+        y.backward()
+    return log
+
+
+def layer_times(
+    model: ModelConfig,
+    microbatch_size: int,
+    tensor_parallel: int,
+    sequence_parallel: bool = False,
+    recompute: Recompute = Recompute.NONE,
+    cost: Optional[KernelCostModel] = None,
+    fuse_sp_gather: bool = True,
+) -> PhaseTimes:
+    """Forward / backward / recompute seconds for one transformer layer."""
+    cost = cost or KernelCostModel()
+    log = layer_oplog(
+        model, microbatch_size, tensor_parallel,
+        sequence_parallel=sequence_parallel, recompute=recompute,
+        fuse_sp_gather=fuse_sp_gather,
+    )
+    return cost.price(log)
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    experiment: str
+    times: PhaseTimes
+
+    @property
+    def forward_ms(self) -> float:
+        return self.times.forward * 1e3
+
+    @property
+    def backward_ms(self) -> float:
+        return self.times.backward_total * 1e3
+
+    @property
+    def combined_ms(self) -> float:
+        return self.times.combined * 1e3
+
+
+#: The five experiments of Table 4 as (label, sequence_parallel, recompute).
+TABLE4_EXPERIMENTS = (
+    ("Baseline no recompute", False, Recompute.NONE),
+    ("Sequence Parallelism", True, Recompute.NONE),
+    ("Baseline with recompute", False, Recompute.FULL),
+    ("Selective Recompute", False, Recompute.SELECTIVE),
+    ("Selective + Sequence", True, Recompute.SELECTIVE),
+)
+
+
+def table4(model: ModelConfig, microbatch_size: int, tensor_parallel: int,
+           cost: Optional[KernelCostModel] = None) -> List[Table4Row]:
+    """All five rows of Table 4 (the paper runs the 22B model, b=4, t=8)."""
+    cost = cost or KernelCostModel()
+    return [
+        Table4Row(label, layer_times(
+            model, microbatch_size, tensor_parallel,
+            sequence_parallel=sp, recompute=rc, cost=cost,
+        ))
+        for label, sp, rc in TABLE4_EXPERIMENTS
+    ]
+
+
+#: Figure 8's four schemes per model: (label, sequence_parallel, recompute).
+FIGURE8_SCHEMES = (
+    ("baseline", False, Recompute.NONE),
+    ("full recompute", False, Recompute.FULL),
+    ("selective recompute", False, Recompute.SELECTIVE),
+    ("present work", True, Recompute.SELECTIVE),
+)
+
+
+def figure8(model: ModelConfig, microbatch_size: int, tensor_parallel: int,
+            cost: Optional[KernelCostModel] = None) -> Dict[str, PhaseTimes]:
+    """Per-layer forward/backward/recompute breakdown (one Figure 8 group)."""
+    cost = cost or KernelCostModel()
+    return {
+        label: layer_times(model, microbatch_size, tensor_parallel,
+                           sequence_parallel=sp, recompute=rc, cost=cost)
+        for label, sp, rc in FIGURE8_SCHEMES
+    }

@@ -1,0 +1,20 @@
+"""Pipeline schedules (1F1B, interleaved) and event-driven simulation."""
+
+from .schedule import (
+    Op,
+    OpKind,
+    rank_of_group,
+    schedule_1f1b,
+    schedule_interleaved,
+    validate_schedule,
+)
+from .simulator import PipelineCosts, SimResult, simulate
+from .chrome_trace import chrome_trace_events, export_chrome_trace
+from .timeline import TimelineCosts, figure10, render_timeline
+
+__all__ = [
+    "Op", "OpKind", "PipelineCosts", "SimResult", "TimelineCosts",
+    "chrome_trace_events", "export_chrome_trace", "figure10",
+    "rank_of_group", "render_timeline", "schedule_1f1b",
+    "schedule_interleaved", "simulate", "validate_schedule",
+]

@@ -1,0 +1,158 @@
+"""Pipeline schedules: 1F1B (PipeDream-flush [12]) and Megatron-LM's
+interleaved virtual-pipeline schedule [13].
+
+A model of ``L`` layers under ``p``-way pipeline parallelism with ``m``
+interleaved stages is cut into ``p*m`` **groups** of ``L/(p*m)`` layers;
+group ``g`` lives on rank ``g % p`` as that rank's chunk ``g // p``.
+A schedule is, per rank, an ordered list of :class:`Op` — forward or
+backward of one microbatch through one group — the order Megatron's
+scheduler would issue them in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from ..errors import ScheduleError
+
+
+class OpKind(str, Enum):
+    F = "F"
+    B = "B"
+
+
+@dataclass(frozen=True)
+class Op:
+    """Forward or backward of ``microbatch`` through layer-group ``group``."""
+
+    kind: OpKind
+    microbatch: int
+    group: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind.value}{self.microbatch}g{self.group}"
+
+
+def rank_of_group(group: int, pipeline_parallel: int) -> int:
+    return group % pipeline_parallel
+
+
+def schedule_1f1b(pipeline_parallel: int, num_microbatches: int) -> List[List[Op]]:
+    """Non-interleaved 1F1B: per-rank op lists.
+
+    Rank ``i`` warms up with ``min(n, p-i-1)`` forwards, then alternates
+    one-forward-one-backward, then drains the remaining backwards.  Peak
+    in-flight microbatches on rank ``i`` is ``min(n, p-i)``.
+    """
+    p, n = pipeline_parallel, num_microbatches
+    if p < 1 or n < 1:
+        raise ScheduleError("pipeline_parallel and num_microbatches must be >= 1")
+    ranks: List[List[Op]] = []
+    for i in range(p):
+        warmup = min(n, p - i - 1)
+        ops: List[Op] = [Op(OpKind.F, mb, i) for mb in range(warmup)]
+        steady = n - warmup
+        for j in range(steady):
+            ops.append(Op(OpKind.F, warmup + j, i))
+            ops.append(Op(OpKind.B, j, i))
+        for j in range(steady, n):
+            ops.append(Op(OpKind.B, j, i))
+        ranks.append(ops)
+    return ranks
+
+
+def _virtual_order(pipeline_parallel: int, num_microbatches: int,
+                   interleave_stages: int) -> List[tuple]:
+    """The (microbatch, chunk) sequence of the interleaved schedule.
+
+    Microbatches are processed in rounds of ``p``; within a round all
+    ``m`` chunks run before the next round starts (Megatron's
+    ``get_model_chunk_id``): position ``k`` maps to chunk ``(k//p) % m``
+    and microbatch ``k % p + p * (k // (p*m))``.
+    """
+    p, n, m = pipeline_parallel, num_microbatches, interleave_stages
+    order = []
+    for k in range(n * m):
+        chunk = (k // p) % m
+        mb = k % p + p * (k // (p * m))
+        order.append((mb, chunk))
+    return order
+
+
+def schedule_interleaved(pipeline_parallel: int, num_microbatches: int,
+                         interleave_stages: int) -> List[List[Op]]:
+    """Megatron's interleaved 1F1B.
+
+    Requires ``num_microbatches % pipeline_parallel == 0`` (as Megatron
+    does).  Rank ``i`` runs ``min(total, 2(p-i-1) + (m-1)p)`` warmup
+    forwards; with the one extra forward in flight during steady 1F1B the
+    first stage peaks at ``pm + p - 1`` chunks — the paper's memory factor
+    ``1 + (p-1)/(pm)``.
+    """
+    p, n, m = pipeline_parallel, num_microbatches, interleave_stages
+    if m == 1:
+        return schedule_1f1b(p, n)
+    if n % p != 0:
+        raise ScheduleError(
+            f"interleaved schedule needs num_microbatches ({n}) divisible "
+            f"by pipeline_parallel ({p})"
+        )
+    fwd_order = _virtual_order(p, n, m)
+    # Backward virtual order: same microbatch pattern, chunks reversed.
+    bwd_order = [(mb, m - 1 - chunk) for mb, chunk in fwd_order]
+
+    ranks: List[List[Op]] = []
+    total = n * m
+    for i in range(p):
+        warmup = min(total, 2 * (p - i - 1) + (m - 1) * p)
+        ops: List[Op] = []
+        f_idx = b_idx = 0
+        for _ in range(warmup):
+            mb, chunk = fwd_order[f_idx]
+            ops.append(Op(OpKind.F, mb, chunk * p + i))
+            f_idx += 1
+        while f_idx < total:
+            mb, chunk = fwd_order[f_idx]
+            ops.append(Op(OpKind.F, mb, chunk * p + i))
+            f_idx += 1
+            mb, chunk = bwd_order[b_idx]
+            ops.append(Op(OpKind.B, mb, chunk * p + i))
+            b_idx += 1
+        while b_idx < total:
+            mb, chunk = bwd_order[b_idx]
+            ops.append(Op(OpKind.B, mb, chunk * p + i))
+            b_idx += 1
+        ranks.append(ops)
+    return ranks
+
+
+def validate_schedule(ranks: List[List[Op]], num_microbatches: int,
+                      interleave_stages: int = 1) -> None:
+    """Sanity-check a schedule: every (mb, group) appears exactly once per
+    kind per owning rank, and backwards never precede their forward."""
+    p = len(ranks)
+    for i, ops in enumerate(ranks):
+        seen_f = set()
+        seen_b = set()
+        for op in ops:
+            if rank_of_group(op.group, p) != i:
+                raise ScheduleError(f"op {op} scheduled on wrong rank {i}")
+            key = (op.microbatch, op.group)
+            if op.kind == OpKind.F:
+                if key in seen_f:
+                    raise ScheduleError(f"duplicate forward {op}")
+                seen_f.add(key)
+            else:
+                if key not in seen_f:
+                    raise ScheduleError(f"backward before forward: {op}")
+                if key in seen_b:
+                    raise ScheduleError(f"duplicate backward {op}")
+                seen_b.add(key)
+        expected = num_microbatches * interleave_stages
+        if len(seen_f) != expected or len(seen_b) != expected:
+            raise ScheduleError(
+                f"rank {i}: {len(seen_f)} forwards / {len(seen_b)} backwards, "
+                f"expected {expected}"
+            )

@@ -1,0 +1,134 @@
+"""Event-driven execution of a pipeline schedule.
+
+Each rank executes its op list strictly in order (one compute stream per
+GPU); an op additionally waits for its cross-rank dependency:
+
+* ``F(mb, g)`` needs ``F(mb, g-1)`` plus a point-to-point activation send;
+* ``B(mb, g)`` needs ``B(mb, g+1)`` (gradient send), or its own
+  ``F(mb, G-1)`` on the last group.
+
+The simulator yields the iteration makespan, per-rank busy time / bubble
+fraction, and a per-rank activation-memory high-water mark (activations
+charged at forward completion, released when the backward completes —
+optionally including the Appendix-B output tensors), which cross-checks
+the closed-form :mod:`repro.memory_model.pipeline` profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ScheduleError
+from .schedule import Op, OpKind, rank_of_group
+
+
+@dataclass(frozen=True)
+class PipelineCosts:
+    """Durations and memory charges driving a schedule simulation.
+
+    ``forward_time`` / ``backward_time`` map a layer-group index to
+    seconds (so the embedding-bearing group 0 and head-bearing last group
+    can cost more).  ``activation_bytes`` is charged per (microbatch,
+    group) from forward completion to backward completion.
+    """
+
+    num_groups: int
+    forward_time: Callable[[int], float]
+    backward_time: Callable[[int], float]
+    p2p_time: float = 0.0
+    activation_bytes: Callable[[int], float] = lambda g: 0.0
+    output_tensor_bytes: float = 0.0
+    deallocate_output_tensor: bool = True
+
+
+@dataclass
+class SimResult:
+    makespan: float
+    busy_time: List[float]
+    peak_activation_bytes: List[float]
+    op_finish: Dict[Tuple[str, int, int], float] = field(repr=False, default_factory=dict)
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Idle fraction of the busiest rank's timeline, averaged over ranks."""
+        if self.makespan == 0:
+            return 0.0
+        return 1.0 - sum(self.busy_time) / (len(self.busy_time) * self.makespan)
+
+    def bubble_fraction_of(self, rank: int) -> float:
+        if self.makespan == 0:
+            return 0.0
+        return 1.0 - self.busy_time[rank] / self.makespan
+
+
+def _dependency(op: Op, num_groups: int) -> Optional[Tuple[str, int, int]]:
+    if op.kind == OpKind.F:
+        if op.group == 0:
+            return None
+        return ("F", op.microbatch, op.group - 1)
+    if op.group == num_groups - 1:
+        return ("F", op.microbatch, op.group)
+    return ("B", op.microbatch, op.group + 1)
+
+
+def simulate(ranks_ops: List[List[Op]], costs: PipelineCosts) -> SimResult:
+    """Run the schedule to completion; raises on deadlock."""
+    p = len(ranks_ops)
+    done: Dict[Tuple[str, int, int], float] = {}
+    ptr = [0] * p
+    clock = [0.0] * p
+    busy = [0.0] * p
+    mem = [0.0] * p
+    peak = [0.0] * p
+
+    def op_key(op: Op) -> Tuple[str, int, int]:
+        return (op.kind.value, op.microbatch, op.group)
+
+    total_ops = sum(len(ops) for ops in ranks_ops)
+    executed = 0
+    while executed < total_ops:
+        progressed = False
+        for i in range(p):
+            while ptr[i] < len(ranks_ops[i]):
+                op = ranks_ops[i][ptr[i]]
+                dep = _dependency(op, costs.num_groups)
+                if dep is not None and dep not in done:
+                    break
+                same_rank_dep = (
+                    dep is not None
+                    and rank_of_group(dep[2], p) == i
+                )
+                ready = clock[i]
+                if dep is not None:
+                    transfer = 0.0 if same_rank_dep else costs.p2p_time
+                    ready = max(ready, done[dep] + transfer)
+                duration = (
+                    costs.forward_time(op.group)
+                    if op.kind == OpKind.F
+                    else costs.backward_time(op.group)
+                )
+                finish = ready + duration
+                done[op_key(op)] = finish
+                clock[i] = finish
+                busy[i] += duration
+                executed += 1
+                progressed = True
+                # -- memory accounting -----------------------------------
+                delta = costs.activation_bytes(op.group)
+                if not costs.deallocate_output_tensor:
+                    delta += costs.output_tensor_bytes
+                if op.kind == OpKind.F:
+                    mem[i] += delta
+                    peak[i] = max(peak[i], mem[i])
+                else:
+                    mem[i] -= delta
+                ptr[i] += 1
+        if not progressed:
+            raise ScheduleError("pipeline schedule deadlocked")
+    return SimResult(
+        makespan=max(clock),
+        busy_time=busy,
+        peak_activation_bytes=peak,
+        op_finish=done,
+    )

@@ -1,0 +1,159 @@
+"""ASCII schedule timelines (paper Figure 10).
+
+Renders the computation pattern of each pipeline rank over time, one
+character per time cell:
+
+* ``F`` — forward pass with activations checkpointed (Figure 10's yellow),
+* ``f`` — forward pass with **all activations saved** (white),
+* ``R`` — recomputation (red),
+* ``B`` — back-propagation (blue),
+* ``.`` — idle (pipeline bubble).
+
+The renderer runs the same event-driven simulation as
+:func:`repro.pipeline_sim.simulator.simulate`, splitting each backward op
+into its recompute and gradient components so the Figure 10.a vs 10.b
+contrast (checkpoint-everything vs microbatch-level recomputation) is
+visible directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ScheduleError
+from .schedule import Op, OpKind, rank_of_group
+
+
+@dataclass(frozen=True)
+class TimelineCosts:
+    """Per-op durations for timeline rendering (arbitrary units).
+
+    ``full_storage_slots`` enables the Appendix C moving window: each
+    rank stores all activations for up to that many in-flight
+    microbatches, whose backward then needs no recompute segment.
+    """
+
+    num_groups: int
+    forward: float = 1.0
+    recompute: float = 1.0
+    backward: float = 2.0
+    full_storage_slots: int = 0
+
+
+@dataclass
+class TimelineEvent:
+    rank: int
+    start: float
+    end: float
+    symbol: str
+
+
+def _simulate_events(ranks_ops: List[List[Op]],
+                     costs: TimelineCosts) -> Tuple[List[TimelineEvent], float]:
+    p = len(ranks_ops)
+    done = {}
+    ptr = [0] * p
+    clock = [0.0] * p
+    events: List[TimelineEvent] = []
+    slots_in_use = [0] * p
+    full_mbs: List[Set[int]] = [set() for _ in range(p)]
+    backwards_left = [dict() for _ in range(p)]
+    for rank, ops in enumerate(ranks_ops):
+        for op in ops:
+            if op.kind == OpKind.B:
+                backwards_left[rank][op.microbatch] = (
+                    backwards_left[rank].get(op.microbatch, 0) + 1)
+
+    def dependency(op: Op):
+        if op.kind == OpKind.F:
+            return None if op.group == 0 else ("F", op.microbatch, op.group - 1)
+        if op.group == costs.num_groups - 1:
+            return ("F", op.microbatch, op.group)
+        return ("B", op.microbatch, op.group + 1)
+
+    total = sum(len(ops) for ops in ranks_ops)
+    executed = 0
+    while executed < total:
+        progressed = False
+        for rank in range(p):
+            while ptr[rank] < len(ranks_ops[rank]):
+                op = ranks_ops[rank][ptr[rank]]
+                dep = dependency(op)
+                if dep is not None and dep not in done:
+                    break
+                start = clock[rank]
+                if dep is not None:
+                    start = max(start, done[dep])
+                if op.kind == OpKind.F:
+                    if (op.microbatch not in full_mbs[rank]
+                            and slots_in_use[rank] < costs.full_storage_slots):
+                        slots_in_use[rank] += 1
+                        full_mbs[rank].add(op.microbatch)
+                    symbol = "f" if op.microbatch in full_mbs[rank] else "F"
+                    end = start + costs.forward
+                    events.append(TimelineEvent(rank, start, end, symbol))
+                else:
+                    end = start
+                    if op.microbatch not in full_mbs[rank] and costs.recompute > 0:
+                        events.append(TimelineEvent(rank, end, end + costs.recompute, "R"))
+                        end += costs.recompute
+                    events.append(TimelineEvent(rank, end, end + costs.backward, "B"))
+                    end += costs.backward
+                    backwards_left[rank][op.microbatch] -= 1
+                    if (backwards_left[rank][op.microbatch] == 0
+                            and op.microbatch in full_mbs[rank]):
+                        full_mbs[rank].discard(op.microbatch)
+                        slots_in_use[rank] -= 1
+                done[(op.kind.value, op.microbatch, op.group)] = end
+                clock[rank] = end
+                ptr[rank] += 1
+                executed += 1
+                progressed = True
+        if not progressed:
+            raise ScheduleError("timeline simulation deadlocked")
+    return events, max(clock)
+
+
+def render_timeline(ranks_ops: List[List[Op]], costs: TimelineCosts,
+                    cell: Optional[float] = None, max_width: int = 120) -> str:
+    """One line per pipeline rank, one character per ``cell`` time units."""
+    events, makespan = _simulate_events(ranks_ops, costs)
+    if cell is None:
+        smallest = min(costs.forward, costs.backward,
+                       costs.recompute if costs.recompute > 0 else costs.forward)
+        cell = max(smallest, makespan / max_width)
+    n_cells = max(1, round(makespan / cell))
+    grid = [["."] * n_cells for _ in ranks_ops]
+    for ev in events:
+        lo = int(round(ev.start / cell))
+        hi = max(lo + 1, int(round(ev.end / cell)))
+        for i in range(lo, min(hi, n_cells)):
+            grid[ev.rank][i] = ev.symbol
+    lines = [
+        f"rank {rank}: {''.join(row)}" for rank, row in enumerate(grid)
+    ]
+    legend = ("[F=forward (checkpointed)  f=forward (all saved)  "
+              "R=recompute  B=backward  .=idle]")
+    return "\n".join([legend] + lines)
+
+
+def figure10(pipeline_parallel: int = 4, num_microbatches: int = 9,
+             full_storage_slots: int = 1) -> str:
+    """The paper's Figure 10: baseline (a) vs microbatch-level
+    recomputation (b) on the first-stage computation pattern."""
+    from .schedule import schedule_1f1b
+
+    sched = schedule_1f1b(pipeline_parallel, num_microbatches)
+    base = render_timeline(sched, TimelineCosts(
+        num_groups=pipeline_parallel, forward=1, recompute=1, backward=2))
+    window = render_timeline(sched, TimelineCosts(
+        num_groups=pipeline_parallel, forward=1, recompute=1, backward=2,
+        full_storage_slots=full_storage_slots))
+    return (
+        "(a) baseline: every microbatch checkpointed and recomputed\n"
+        f"{base}\n\n"
+        f"(b) microbatch-level recomputation ({full_storage_slots} full-storage "
+        "slot(s) per rank; 'f' microbatches skip the R segment)\n"
+        f"{window}"
+    )

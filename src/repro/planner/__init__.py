@@ -1,0 +1,5 @@
+"""Memory-budget-driven recomputation planning (paper Section 5)."""
+
+from .planner import PlanOption, enumerate_options, plan
+
+__all__ = ["PlanOption", "enumerate_options", "plan"]

@@ -1,0 +1,172 @@
+"""Recomputation planning: "it is ideal to only checkpoint enough
+activations to allow a given model-parallel configuration to train given
+the constraints of device memory" (paper Section 5).
+
+The planner walks a ladder of strategies from cheapest to most expensive
+recompute overhead and returns the first that fits:
+
+1. sequence parallelism, no recomputation;
+2. sequence parallelism + selective recomputation (the paper's method);
+3. selective recomputation everywhere + **full** recomputation on the
+   smallest prefix of layers that fits (the per-layer granularity knob
+   Section 5 notes is too coarse on its own — e.g. MT-NLG has only three
+   layers per device);
+4. full recomputation of every layer.
+
+Each candidate is also priced by the kernel cost model so the chosen
+plan's estimated per-layer overhead vs. the no-recompute baseline is
+reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import ExperimentConfig
+from ..errors import PlanningError
+from ..layers.transformer import Recompute
+from ..memory_model.activations import (
+    first_stage_layers_worth,
+    input_output_extras_bytes,
+    per_layer_activation_bytes,
+)
+from ..memory_model.weights import weight_and_optimizer_bytes
+from ..perf_model.gpu import KernelCostModel
+from ..perf_model.layer_timing import layer_times
+
+
+@dataclass(frozen=True)
+class PlanOption:
+    """One candidate strategy with its memory footprint and time overhead."""
+
+    description: str
+    sequence_parallel: bool
+    recompute: Recompute
+    recompute_num_layers: int       # layers (of L) fully recomputed
+    activation_bytes: float
+    static_bytes: float
+    overhead_fraction: float        # per-layer combined-time vs no-recompute
+
+    @property
+    def total_bytes(self) -> float:
+        return self.activation_bytes + self.static_bytes
+
+    def fits(self, capacity_bytes: float) -> bool:
+        return self.total_bytes <= capacity_bytes
+
+    def build_kwargs(self) -> dict:
+        """Keyword arguments that make ``ParallelGPTModel`` execute this
+        plan (mixed plans use selective recomputation on the non-full
+        layers, matching the planner's accounting)."""
+        kwargs = dict(sequence_parallel=self.sequence_parallel,
+                      recompute=self.recompute)
+        if self.recompute == Recompute.FULL and self.recompute_num_layers:
+            kwargs["recompute_num_layers"] = self.recompute_num_layers
+            kwargs["recompute_remainder"] = Recompute.SELECTIVE
+        return kwargs
+
+
+def _activation_bytes(config: ExperimentConfig, sequence_parallel: bool,
+                      recompute: Recompute, full_layers: int = 0) -> float:
+    model, par, train = config.model, config.parallel, config.training
+    t = par.tensor_parallel
+    layers_worth = first_stage_layers_worth(
+        model.num_layers, par.pipeline_parallel, par.interleave_stages)
+    per_layer = per_layer_activation_bytes(
+        model, train.micro_batch_size, t, sequence_parallel, recompute)
+    per_layer_full = per_layer_activation_bytes(
+        model, train.micro_batch_size, t, sequence_parallel, Recompute.FULL)
+    frac_full = full_layers / model.num_layers
+    mixed = (1 - frac_full) * per_layer + frac_full * per_layer_full
+    return layers_worth * mixed + input_output_extras_bytes(config)
+
+
+def enumerate_options(config: ExperimentConfig,
+                      cost: Optional[KernelCostModel] = None,
+                      allow_sequence_parallel: bool = True,
+                      full_layer_step: int = 1) -> List[PlanOption]:
+    """All candidate plans, cheapest overhead first."""
+    cost = cost or KernelCostModel()
+    model, par, train = config.model, config.parallel, config.training
+    static = weight_and_optimizer_bytes(config)
+
+    sp_options = [True, False] if allow_sequence_parallel else [False]
+    # One global baseline — the fastest no-recompute layout — so options
+    # across SP settings are comparable.
+    baseline_combined = min(
+        layer_times(model, train.micro_batch_size, par.tensor_parallel,
+                    sequence_parallel=sp, recompute=Recompute.NONE,
+                    cost=cost).combined
+        for sp in sp_options
+    )
+
+    def overhead(sp: bool, rc: Recompute, full_layers: int = 0) -> float:
+        this = layer_times(model, train.micro_batch_size, par.tensor_parallel,
+                           sequence_parallel=sp, recompute=rc, cost=cost)
+        combined = this.combined
+        if rc == Recompute.FULL and full_layers < model.num_layers:
+            frac = full_layers / model.num_layers
+            selective = layer_times(
+                model, train.micro_batch_size, par.tensor_parallel,
+                sequence_parallel=sp, recompute=Recompute.SELECTIVE, cost=cost)
+            combined = frac * this.combined + (1 - frac) * selective.combined
+        return combined / baseline_combined - 1.0
+    options: List[PlanOption] = []
+    for sp in sp_options:
+        sp_label = "SP + " if sp else ""
+        options.append(PlanOption(
+            description=f"{sp_label}no recomputation",
+            sequence_parallel=sp, recompute=Recompute.NONE,
+            recompute_num_layers=0,
+            activation_bytes=_activation_bytes(config, sp, Recompute.NONE),
+            static_bytes=static, overhead_fraction=overhead(sp, Recompute.NONE),
+        ))
+        options.append(PlanOption(
+            description=f"{sp_label}selective recomputation",
+            sequence_parallel=sp, recompute=Recompute.SELECTIVE,
+            recompute_num_layers=0,
+            activation_bytes=_activation_bytes(config, sp, Recompute.SELECTIVE),
+            static_bytes=static,
+            overhead_fraction=overhead(sp, Recompute.SELECTIVE),
+        ))
+        for n in range(full_layer_step, model.num_layers + 1, full_layer_step):
+            options.append(PlanOption(
+                description=(
+                    f"{sp_label}full recomputation of {n}/{model.num_layers} "
+                    f"layers (selective elsewhere)"
+                    if n < model.num_layers
+                    else f"{sp_label}full recomputation"
+                ),
+                sequence_parallel=sp, recompute=Recompute.FULL,
+                recompute_num_layers=n,
+                activation_bytes=_activation_bytes(
+                    config, sp, Recompute.SELECTIVE, full_layers=n),
+                static_bytes=static,
+                overhead_fraction=overhead(sp, Recompute.FULL, full_layers=n),
+            ))
+    options.sort(key=lambda o: o.overhead_fraction)
+    return options
+
+
+def plan(config: ExperimentConfig,
+         device_memory_bytes: float = 80 * 1024**3,
+         reserve_bytes: float = 4 * 1024**3,
+         cost: Optional[KernelCostModel] = None,
+         allow_sequence_parallel: bool = True,
+         full_layer_step: int = 1) -> PlanOption:
+    """The cheapest-overhead strategy that fits in device memory."""
+    capacity = device_memory_bytes - reserve_bytes
+    options = enumerate_options(config, cost=cost,
+                                allow_sequence_parallel=allow_sequence_parallel,
+                                full_layer_step=full_layer_step)
+    for option in options:
+        if option.fits(capacity):
+            return option
+    tightest = min(options, key=lambda o: o.total_bytes)
+    raise PlanningError(
+        f"no recomputation strategy fits: smallest footprint is "
+        f"{tightest.total_bytes/2**30:.1f} GiB ({tightest.description}) "
+        f"against a capacity of {capacity/2**30:.1f} GiB — increase model "
+        f"parallelism"
+    )

@@ -1,0 +1,311 @@
+"""Array backend: concrete NumPy arrays or shape-only abstract arrays.
+
+Every autograd :class:`~repro.tensor.tensor.Function` is written against the
+small dispatch API in this module, so the same layer graph can execute in
+two modes:
+
+* **concrete** — operands are ``np.ndarray``; real numerics, used at toy
+  scale for correctness tests and end-to-end training.
+* **abstract** — operands are :class:`AbstractArray` carrying only a shape;
+  each operation is O(1), used to run paper-scale configurations (22B-1T)
+  where materializing activations would need hundreds of gigabytes.  The
+  memory tracker and op log see exactly the same graph either way, which is
+  what lets the simulator *measure* Equations 1-6 instead of restating them.
+
+Abstract numerics: elementwise results propagate shapes by NumPy
+broadcasting rules; reductions and matmuls compute result shapes the same
+way NumPy would, raising :class:`~repro.errors.ShapeError` on mismatch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ShapeError
+
+Shape = Tuple[int, ...]
+
+
+class AbstractArray:
+    """A shape-only stand-in for ``np.ndarray``.
+
+    Supports the operator surface the autograd functions need (arithmetic
+    with broadcasting, matmul, comparison-free slicing) plus the dispatch
+    functions below.  It carries no element data; ``size`` and ``shape``
+    are the only meaningful attributes.
+    """
+
+    __slots__ = ("shape",)
+    __array_priority__ = 100.0  # make np.ndarray defer to our __r*__ ops
+
+    def __init__(self, shape: Iterable[int]):
+        shape = tuple(int(d) for d in shape)
+        if any(d < 0 for d in shape):
+            raise ShapeError(f"negative dimension in shape {shape}")
+        self.shape: Shape = shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return int(math.prod(self.shape))
+
+    @property
+    def T(self) -> "AbstractArray":  # noqa: N802 - numpy-compatible name
+        return AbstractArray(self.shape[::-1])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AbstractArray(shape={self.shape})"
+
+    # -- broadcasting arithmetic ------------------------------------------
+    def _broadcast(self, other) -> "AbstractArray":
+        return AbstractArray(np.broadcast_shapes(self.shape, shape_of(other)))
+
+    __add__ = __radd__ = __sub__ = __rsub__ = __mul__ = __rmul__ = _broadcast
+    __truediv__ = __rtruediv__ = __pow__ = _broadcast
+
+    def __neg__(self) -> "AbstractArray":
+        return AbstractArray(self.shape)
+
+    def __matmul__(self, other) -> "AbstractArray":
+        return AbstractArray(matmul_shape(self.shape, shape_of(other)))
+
+    def __rmatmul__(self, other) -> "AbstractArray":
+        return AbstractArray(matmul_shape(shape_of(other), self.shape))
+
+    def reshape(self, *shape) -> "AbstractArray":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return AbstractArray(_resolve_reshape(self.shape, shape))
+
+    def copy(self) -> "AbstractArray":
+        return AbstractArray(self.shape)
+
+    def astype(self, _dtype) -> "AbstractArray":
+        return AbstractArray(self.shape)
+
+
+ArrayLike = Union[np.ndarray, AbstractArray]
+
+
+def is_abstract(x) -> bool:
+    return isinstance(x, AbstractArray)
+
+
+def shape_of(x) -> Shape:
+    if isinstance(x, AbstractArray):
+        return x.shape
+    if isinstance(x, np.ndarray):
+        return x.shape
+    if np.isscalar(x):
+        return ()
+    raise ShapeError(f"not an array: {type(x)!r}")
+
+
+def size_of(x) -> int:
+    return int(math.prod(shape_of(x)))
+
+
+def matmul_shape(a: Shape, b: Shape) -> Shape:
+    """Result shape of ``a @ b`` under NumPy matmul rules (ndim >= 2 each)."""
+    if len(a) < 2 or len(b) < 2:
+        raise ShapeError(f"matmul requires ndim >= 2, got {a} @ {b}")
+    if a[-1] != b[-2]:
+        raise ShapeError(f"matmul inner dimensions differ: {a} @ {b}")
+    batch = np.broadcast_shapes(a[:-2], b[:-2])
+    return tuple(batch) + (a[-2], b[-1])
+
+
+def _resolve_reshape(old: Shape, new: Sequence[int]) -> Shape:
+    new = tuple(int(d) for d in new)
+    old_size = int(math.prod(old))
+    if new.count(-1) > 1:
+        raise ShapeError(f"at most one -1 allowed in reshape target {new}")
+    if -1 in new:
+        rest = int(math.prod(d for d in new if d != -1))
+        if rest == 0 or old_size % rest != 0:
+            raise ShapeError(f"cannot reshape {old} to {new}")
+        new = tuple(old_size // rest if d == -1 else d for d in new)
+    if int(math.prod(new)) != old_size:
+        raise ShapeError(f"cannot reshape {old} (size {old_size}) to {new}")
+    return new
+
+
+def _reduced_shape(shape: Shape, axis, keepdims: bool) -> Shape:
+    if axis is None:
+        return shape if not shape else ((1,) * len(shape) if keepdims else ())
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    axes = tuple(a % len(shape) for a in axes)
+    if keepdims:
+        return tuple(1 if i in axes else d for i, d in enumerate(shape))
+    return tuple(d for i, d in enumerate(shape) if i not in axes)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch functions: each takes np.ndarray or AbstractArray operands.
+# ---------------------------------------------------------------------------
+
+def _unary(np_fn):
+    def op(x: ArrayLike) -> ArrayLike:
+        if is_abstract(x):
+            return AbstractArray(x.shape)
+        return np_fn(x)
+
+    return op
+
+
+exp = _unary(np.exp)
+tanh = _unary(np.tanh)
+sqrt = _unary(np.sqrt)
+log = _unary(np.log)
+
+
+def sum_(x: ArrayLike, axis=None, keepdims: bool = False) -> ArrayLike:
+    if is_abstract(x):
+        return AbstractArray(_reduced_shape(x.shape, axis, keepdims))
+    return np.sum(x, axis=axis, keepdims=keepdims)
+
+
+def mean(x: ArrayLike, axis=None, keepdims: bool = False) -> ArrayLike:
+    if is_abstract(x):
+        return AbstractArray(_reduced_shape(x.shape, axis, keepdims))
+    return np.mean(x, axis=axis, keepdims=keepdims)
+
+
+def max_(x: ArrayLike, axis=None, keepdims: bool = False) -> ArrayLike:
+    if is_abstract(x):
+        return AbstractArray(_reduced_shape(x.shape, axis, keepdims))
+    return np.max(x, axis=axis, keepdims=keepdims)
+
+
+def var(x: ArrayLike, axis=None, keepdims: bool = False) -> ArrayLike:
+    if is_abstract(x):
+        return AbstractArray(_reduced_shape(x.shape, axis, keepdims))
+    return np.var(x, axis=axis, keepdims=keepdims)
+
+
+def reshape(x: ArrayLike, shape) -> ArrayLike:
+    if is_abstract(x):
+        return x.reshape(shape)
+    return np.reshape(x, shape)
+
+
+def transpose(x: ArrayLike, axes: Sequence[int]) -> ArrayLike:
+    axes = tuple(axes)
+    if is_abstract(x):
+        if sorted(a % x.ndim for a in axes) != list(range(x.ndim)):
+            raise ShapeError(f"invalid transpose axes {axes} for shape {x.shape}")
+        return AbstractArray(tuple(x.shape[a] for a in axes))
+    return np.transpose(x, axes)
+
+
+def swap_last_two(x: ArrayLike) -> ArrayLike:
+    axes = list(range(len(shape_of(x))))
+    axes[-1], axes[-2] = axes[-2], axes[-1]
+    return transpose(x, axes)
+
+
+def concatenate(parts: Sequence[ArrayLike], axis: int) -> ArrayLike:
+    if any(is_abstract(p) for p in parts):
+        shapes = [shape_of(p) for p in parts]
+        base = list(shapes[0])
+        axis_ = axis % len(base)
+        for s in shapes[1:]:
+            if len(s) != len(base) or any(
+                s[i] != base[i] for i in range(len(base)) if i != axis_
+            ):
+                raise ShapeError(f"concatenate shape mismatch: {shapes}")
+        base[axis_] = sum(s[axis_] for s in shapes)
+        return AbstractArray(base)
+    return np.concatenate(list(parts), axis=axis)
+
+
+def split(x: ArrayLike, sections: int, axis: int) -> list:
+    shp = shape_of(x)
+    axis_ = axis % len(shp)
+    if shp[axis_] % sections != 0:
+        raise ShapeError(f"cannot split axis {axis_} of {shp} into {sections} equal parts")
+    if is_abstract(x):
+        piece = list(shp)
+        piece[axis_] //= sections
+        return [AbstractArray(piece) for _ in range(sections)]
+    return [np.ascontiguousarray(p) for p in np.split(x, sections, axis=axis_)]
+
+
+def slice_axis(x: ArrayLike, axis: int, start: int, stop: int) -> ArrayLike:
+    """``x[..., start:stop, ...]`` along ``axis``."""
+    shp = shape_of(x)
+    axis_ = axis % len(shp)
+    if not (0 <= start <= stop <= shp[axis_]):
+        raise ShapeError(f"slice [{start}:{stop}] out of range for axis {axis_} of {shp}")
+    if is_abstract(x):
+        piece = list(shp)
+        piece[axis_] = stop - start
+        return AbstractArray(piece)
+    index = [slice(None)] * len(shp)
+    index[axis_] = slice(start, stop)
+    return np.ascontiguousarray(x[tuple(index)])
+
+
+def zeros(shape: Shape, abstract: bool = False) -> ArrayLike:
+    if abstract:
+        return AbstractArray(shape)
+    return np.zeros(shape, dtype=np.float64)
+
+
+def zeros_like(x: ArrayLike) -> ArrayLike:
+    if is_abstract(x):
+        return AbstractArray(x.shape)
+    return np.zeros_like(x)
+
+
+def ones_like(x: ArrayLike) -> ArrayLike:
+    if is_abstract(x):
+        return AbstractArray(x.shape)
+    return np.ones_like(x)
+
+
+def take_rows(table: ArrayLike, ids: ArrayLike) -> ArrayLike:
+    """Embedding lookup: ``table[ids]`` where ids has arbitrary shape."""
+    if is_abstract(table) or is_abstract(ids):
+        return AbstractArray(shape_of(ids) + shape_of(table)[1:])
+    return table[ids.astype(np.int64)]
+
+
+def index_add_rows(shape: Shape, ids: ArrayLike, values: ArrayLike) -> ArrayLike:
+    """Scatter-add ``values`` into a zero array of ``shape`` at rows ``ids``
+    (the backward of :func:`take_rows`)."""
+    if is_abstract(ids) or is_abstract(values):
+        return AbstractArray(shape)
+    out = np.zeros(shape, dtype=np.float64)
+    np.add.at(out, ids.astype(np.int64).reshape(-1), values.reshape(-1, shape[-1]))
+    return out
+
+
+def bernoulli_mask(shape: Shape, keep_prob: float, rng, abstract: bool) -> ArrayLike:
+    """A boolean keep-mask for dropout. ``rng`` is a np.random.Generator."""
+    if not (0.0 < keep_prob <= 1.0):
+        raise ShapeError(f"keep_prob must be in (0, 1], got {keep_prob}")
+    if abstract:
+        return AbstractArray(shape)
+    return rng.random(shape) < keep_prob
+
+
+def one_hot_rows(ids: ArrayLike, depth: int) -> ArrayLike:
+    if is_abstract(ids):
+        return AbstractArray(shape_of(ids) + (depth,))
+    out = np.zeros(ids.shape + (depth,), dtype=np.float64)
+    np.put_along_axis(out, ids.astype(np.int64)[..., None], 1.0, axis=-1)
+    return out
+
+
+def take_along_last(x: ArrayLike, ids: ArrayLike) -> ArrayLike:
+    """``x[..., ids]`` gathered along the last axis, one per leading index."""
+    if is_abstract(x) or is_abstract(ids):
+        return AbstractArray(shape_of(ids))
+    return np.take_along_axis(x, ids.astype(np.int64)[..., None], axis=-1)[..., 0]

@@ -1,0 +1,110 @@
+"""Activation checkpointing with recomputation (paper Sections 1 and 5).
+
+``checkpoint(fn, *inputs)`` runs ``fn`` in the forward pass **without
+saving any intermediate activations** — only the region's *inputs* are
+stored ("storing the input activations to a group of layers", Section 5).
+During backward the region is re-executed (an extra forward pass, logged
+under :attr:`Phase.RECOMPUTE`) to rebuild the intermediates, and gradients
+are then propagated through the rebuilt subgraph.
+
+The RNG state is snapshotted on entry and restored for the re-run, so
+recomputed dropout masks are bit-identical to the original forward pass —
+the same contract as ``torch.utils.checkpoint``.
+
+This one primitive implements all the paper's strategies:
+
+* **full recomputation** — wrap each whole transformer layer;
+* **selective recomputation** — wrap only the attention core
+  (QK^T -> softmax -> dropout -> attention-over-V, Figure 3's red region);
+* **checkpoint-N-of-L-layers** — wrap the first N layers only (the
+  "simple approach" Section 5 discusses);
+* **microbatch-level recomputation** (Appendix C) — wrap whole layers for
+  some microbatches and none for others.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple, Union
+
+from ..errors import AutogradError
+from .context import ctx, enable_grad, get_rng_state, no_grad, phase, set_rng_state
+from .oplog import Phase
+from .tensor import FnCtx, Function, ShardList, Tensor, apply, run_backward
+
+
+class Checkpoint(Function):
+    """Tape node for a recomputed region. Saves only the region's inputs."""
+
+    name = "checkpoint"
+
+    def __init__(self, fn: Callable[..., Union[Tensor, Tuple[Tensor, ...]]], label: str = ""):
+        self.fn = fn
+        self.label = label
+
+    def forward(self, fctx: FnCtx, *shard_lists: ShardList):
+        fctx.misc["rng_state"] = get_rng_state()
+        fctx.misc["slots"] = [
+            fctx.save_input(i, category="checkpoint_input")
+            for i in range(len(shard_lists))
+        ]
+        with no_grad():
+            out = self.fn(*[t.detach() for t in fctx.inputs])
+        if isinstance(out, tuple):
+            fctx.misc["multi"] = True
+            return tuple(o.shards for o in out)
+        fctx.misc["multi"] = False
+        return out.shards
+
+    def backward(self, fctx: FnCtx, *grad_lists: ShardList):
+        # Rebuild leaf inputs from the saved shards; gradients w.r.t.
+        # parameters captured inside ``fn`` flow into the real parameter
+        # tensors directly during the sub-backward below.
+        leaves = []
+        for i, orig in enumerate(fctx.inputs):
+            if orig.is_param:
+                # Pass the real parameter through so the sub-backward
+                # accumulates straight into ``orig.grad``.
+                leaves.append(orig)
+                continue
+            shards = fctx.saved(fctx.misc["slots"][i])
+            leaf = Tensor(
+                shards, dtype=orig.dtype, requires_grad=orig.requires_grad,
+                layout=orig.layout, name=orig.name,
+            )
+            leaves.append(leaf)
+
+        resume_state = get_rng_state()
+        set_rng_state(fctx.misc["rng_state"])
+        try:
+            with enable_grad(), phase(Phase.RECOMPUTE):
+                out = self.fn(*leaves)
+        finally:
+            set_rng_state(resume_state)
+
+        outputs = list(out) if isinstance(out, tuple) else [out]
+        if len(outputs) != len(grad_lists):
+            raise AutogradError(
+                f"checkpoint[{self.label}]: recomputation produced "
+                f"{len(outputs)} outputs but {len(grad_lists)} gradients arrived"
+            )
+        seeds = [
+            (o, list(g)) for o, g in zip(outputs, grad_lists) if o._node is not None
+        ]
+        if seeds:
+            run_backward(seeds)
+        return tuple(
+            leaf.grad if leaf.requires_grad and not leaf.is_param else None
+            for leaf in leaves
+        )
+
+
+def checkpoint(fn: Callable[..., Union[Tensor, Tuple[Tensor, ...]]], *inputs: Tensor,
+               label: str = "") -> Union[Tensor, Tuple[Tensor, ...]]:
+    """Run ``fn(*inputs)`` storing only ``inputs``; recompute in backward.
+
+    When grad is globally disabled this is a plain call (no point paying
+    the bookkeeping).
+    """
+    if not ctx().grad_enabled:
+        return fn(*inputs)
+    return apply(Checkpoint(fn, label=label), *inputs)

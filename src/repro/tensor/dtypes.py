@@ -1,0 +1,51 @@
+"""Accounting dtypes.
+
+The paper's memory accounting (Section 4) assumes mixed-precision training:
+activations are stored as 16-bit floats (2 bytes/element), dropout masks as
+single bytes, and the final logits in 32-bit floats (4 bytes/element).
+
+This library separates *numerical* precision from *accounted* precision:
+all math runs in float64 NumPy (so gradient checks are exact), while every
+tensor carries an accounting :class:`DType` that determines how many bytes
+it contributes to the activation-memory tracker.  This mirrors how the
+paper itself reasons: the formulas count bytes per element, not exact
+device allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DType:
+    """An accounting datatype: a name and a storage size in bytes/element."""
+
+    name: str
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 1:
+            raise ValueError("nbytes must be >= 1")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"dtype({self.name})"
+
+
+#: 16-bit float: the storage format of activations and parameters in the
+#: paper's mixed-precision training (2 bytes/element).
+FP16 = DType("fp16", 2)
+
+#: bfloat16 — same storage cost as fp16; provided for completeness.
+BF16 = DType("bf16", 2)
+
+#: 32-bit float: logits, master weights and optimizer state (4 bytes/element).
+FP32 = DType("fp32", 4)
+
+#: Dropout masks: "the dropout masks ... only require a single byte per
+#: element" (paper Section 4).
+MASK = DType("mask", 1)
+
+#: Integer token ids (negligible in the paper's accounting but tracked).
+INT32 = DType("int32", 4)
+INT64 = DType("int64", 8)

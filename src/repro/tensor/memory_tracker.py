@@ -1,0 +1,114 @@
+"""Activation-memory accounting.
+
+"Activations" here means exactly what the paper means (Section 4): any
+tensor created in the forward pass that must be kept for gradient
+computation during back-propagation — excluding model parameters and
+optimizer state, but including dropout masks.
+
+The tracker charges a buffer to a rank the first time that rank's autograd
+tape saves it and releases the charge when the last tape reference on that
+rank drops (backward consumed it, or the graph was discarded).  Buffers are
+deduplicated per rank by identity: when the Q, K and V projections all save
+their shared input, it is counted once — matching the paper's "we only need
+to store their shared input with size 2sbh".
+
+Identity-based dedup requires the caller to keep a live reference to every
+charged buffer until it is released (``FnCtx`` holds the saved shard lists,
+so autograd use always satisfies this).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .backend import size_of
+from .dtypes import DType
+
+
+@dataclass
+class _BufferEntry:
+    nbytes: int
+    category: str
+    refcount: int = 1
+
+
+@dataclass
+class MemorySnapshot:
+    """Point-in-time view of per-rank saved-activation bytes."""
+
+    live_bytes: Dict[int, int] = field(default_factory=dict)
+    peak_bytes: Dict[int, int] = field(default_factory=dict)
+    by_category: Dict[int, Dict[str, int]] = field(default_factory=dict)
+
+    def max_live(self) -> int:
+        return max(self.live_bytes.values(), default=0)
+
+    def max_peak(self) -> int:
+        return max(self.peak_bytes.values(), default=0)
+
+
+class MemoryTracker:
+    """Tracks live and peak saved-activation bytes per rank."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[int, int], _BufferEntry] = {}
+        self._live: Dict[int, int] = defaultdict(int)
+        self._peak: Dict[int, int] = defaultdict(int)
+        self._category_live: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+
+    # -- recording ---------------------------------------------------------
+    def save(self, rank: int, buffer, dtype: DType, category: str = "activation") -> None:
+        """Charge ``buffer`` (array-like) to ``rank`` at ``dtype`` width."""
+        key = (rank, id(buffer))
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.refcount += 1
+            return
+        nbytes = size_of(buffer) * dtype.nbytes
+        self._entries[key] = _BufferEntry(nbytes=nbytes, category=category)
+        self._live[rank] += nbytes
+        self._category_live[rank][category] += nbytes
+        if self._live[rank] > self._peak[rank]:
+            self._peak[rank] = self._live[rank]
+
+    def release(self, rank: int, buffer) -> None:
+        """Drop one tape reference to ``buffer`` on ``rank``."""
+        key = (rank, id(buffer))
+        entry = self._entries.get(key)
+        if entry is None:
+            return  # buffer was never charged (e.g. a parameter)
+        entry.refcount -= 1
+        if entry.refcount == 0:
+            del self._entries[key]
+            self._live[rank] -= entry.nbytes
+            self._category_live[rank][entry.category] -= entry.nbytes
+
+    # -- queries -----------------------------------------------------------
+    def live_bytes(self, rank: Optional[int] = None) -> int:
+        if rank is None:
+            return sum(self._live.values())
+        return self._live.get(rank, 0)
+
+    def peak_bytes(self, rank: Optional[int] = None) -> int:
+        if rank is None:
+            return max(self._peak.values(), default=0)
+        return self._peak.get(rank, 0)
+
+    def max_live_over_ranks(self) -> int:
+        return max(self._live.values(), default=0)
+
+    def category_breakdown(self, rank: int) -> Dict[str, int]:
+        return {k: v for k, v in self._category_live[rank].items() if v != 0}
+
+    def snapshot(self) -> MemorySnapshot:
+        return MemorySnapshot(
+            live_bytes=dict(self._live),
+            peak_bytes=dict(self._peak),
+            by_category={r: dict(cats) for r, cats in self._category_live.items()},
+        )
+
+    def reset_peak(self) -> None:
+        for rank, live in self._live.items():
+            self._peak[rank] = live

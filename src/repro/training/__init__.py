@@ -1,0 +1,21 @@
+"""Training substrate: optimizer, synthetic data, (pipelined) trainers."""
+
+from .data import MarkovTokens, PackedDocuments, UniformTokens
+from .data_parallel import DataParallelTrainer
+from .lr_scheduler import WarmupDecayLR
+from .optimizer import Adam, LossScaler, flush_grads_through_fp16
+from .serialization import (
+    load_training_state,
+    load_weights,
+    save_training_state,
+    save_weights,
+)
+from .trainer import PipelinedGPT, PipelineStepResult, Trainer, split_microbatches
+
+__all__ = [
+    "Adam", "DataParallelTrainer", "LossScaler", "MarkovTokens", "WarmupDecayLR",
+    "PackedDocuments", "PipelineStepResult", "PipelinedGPT", "Trainer",
+    "UniformTokens",
+    "load_training_state", "load_weights", "save_training_state",
+    "save_weights", "split_microbatches",
+]

@@ -1,0 +1,59 @@
+"""Learning-rate schedules (the Megatron pretraining recipe).
+
+Linear warmup followed by cosine (or linear) decay to a minimum — the
+schedule every model in the paper's lineage trains with.  The scheduler
+drives an :class:`~repro.training.optimizer.Adam` instance by assigning
+``optimizer.lr`` each step.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+from .optimizer import Adam
+
+
+class WarmupDecayLR:
+    """Linear warmup to ``max_lr`` over ``warmup_steps``, then decay to
+    ``min_lr`` at ``total_steps`` (``"cosine"`` or ``"linear"``), constant
+    afterwards."""
+
+    def __init__(self, optimizer: Adam, max_lr: float, total_steps: int,
+                 warmup_steps: int = 0, min_lr: float = 0.0,
+                 decay: str = "cosine"):
+        if max_lr <= 0 or min_lr < 0 or min_lr > max_lr:
+            raise ConfigError("need 0 <= min_lr <= max_lr and max_lr > 0")
+        if not (0 <= warmup_steps <= total_steps):
+            raise ConfigError("need 0 <= warmup_steps <= total_steps")
+        if decay not in ("cosine", "linear"):
+            raise ConfigError(f"unknown decay {decay!r}")
+        self.optimizer = optimizer
+        self.max_lr = max_lr
+        self.min_lr = min_lr
+        self.total_steps = total_steps
+        self.warmup_steps = warmup_steps
+        self.decay = decay
+        self.step_count = 0
+        self.optimizer.lr = self.lr_at(0)
+
+    def lr_at(self, step: int) -> float:
+        """The schedule as a pure function of the step index."""
+        if self.warmup_steps > 0 and step < self.warmup_steps:
+            return self.max_lr * (step + 1) / self.warmup_steps
+        if step >= self.total_steps:
+            return self.min_lr
+        span = max(self.total_steps - self.warmup_steps, 1)
+        progress = (step - self.warmup_steps) / span
+        if self.decay == "cosine":
+            factor = 0.5 * (1.0 + math.cos(math.pi * progress))
+        else:
+            factor = 1.0 - progress
+        return self.min_lr + (self.max_lr - self.min_lr) * factor
+
+    def step(self) -> float:
+        """Advance one training step; returns the lr just applied."""
+        lr = self.lr_at(self.step_count)
+        self.optimizer.lr = lr
+        self.step_count += 1
+        return lr

@@ -1,0 +1,95 @@
+"""Checkpoint I/O: save and restore model weights and optimizer state.
+
+Weights are stored per parameter *shard* (``<name>::<rank>``) in a single
+``.npz`` archive, so a sharded parallel model round-trips exactly.  The
+layout is deliberately simple and dependency-free; it is not a Megatron
+checkpoint format, but `load_weights` verifies names, shapes and shard
+counts so mismatched parallel layouts fail loudly instead of silently.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..layers.module import Module
+from .optimizer import Adam
+
+_SEP = "::"
+
+
+def _named_shards(model: Module) -> Dict[str, np.ndarray]:
+    out: Dict[str, np.ndarray] = {}
+    for name, param in model.named_parameters():
+        if param.is_abstract:
+            raise ConfigError("cannot serialize an abstract (shape-only) model")
+        for rank, shard in enumerate(param.shards):
+            out[f"{name}{_SEP}{rank}"] = np.asarray(shard)
+    return out
+
+
+def save_weights(model: Module, path: str) -> None:
+    """Write all parameter shards to ``path`` (.npz)."""
+    np.savez(path, **_named_shards(model))
+
+
+def load_weights(model: Module, path: str) -> None:
+    """Load shards saved by :func:`save_weights` into ``model`` in place."""
+    with np.load(path) as archive:
+        stored = set(archive.files)
+        expected = set(_named_shards(model).keys())
+        if stored != expected:
+            missing = sorted(expected - stored)[:3]
+            extra = sorted(stored - expected)[:3]
+            raise ConfigError(
+                f"checkpoint mismatch: missing {missing}, unexpected {extra}"
+            )
+        for name, param in model.named_parameters():
+            for rank in range(param.world):
+                data = archive[f"{name}{_SEP}{rank}"]
+                if data.shape != np.asarray(param.shards[rank]).shape:
+                    raise ConfigError(
+                        f"shape mismatch for {name} rank {rank}: "
+                        f"{data.shape} vs {np.asarray(param.shards[rank]).shape}"
+                    )
+                np.copyto(param.shards[rank], data)
+
+
+def save_training_state(model: Module, optimizer: Adam, path: str) -> None:
+    """Weights + Adam moments + step count in one archive."""
+    payload = _named_shards(model)
+    payload["__optimizer_step__"] = np.asarray(optimizer.step_count)
+    for name, param in model.named_parameters():
+        key = id(param)
+        if key in optimizer._m:
+            for rank in range(param.world):
+                payload[f"__adam_m__{name}{_SEP}{rank}"] = optimizer._m[key][rank]
+                payload[f"__adam_v__{name}{_SEP}{rank}"] = optimizer._v[key][rank]
+    np.savez(path, **payload)
+
+
+def load_training_state(model: Module, optimizer: Adam, path: str) -> None:
+    """Restore weights and Adam state saved by :func:`save_training_state`."""
+    with np.load(path) as archive:
+        for name, param in model.named_parameters():
+            for rank in range(param.world):
+                np.copyto(param.shards[rank], archive[f"{name}{_SEP}{rank}"])
+            m_key = f"__adam_m__{name}{_SEP}0"
+            if m_key in archive.files:
+                key = id(param)
+                optimizer._m[key] = [
+                    archive[f"__adam_m__{name}{_SEP}{r}"].copy()
+                    for r in range(param.world)
+                ]
+                optimizer._v[key] = [
+                    archive[f"__adam_v__{name}{_SEP}{r}"].copy()
+                    for r in range(param.world)
+                ]
+        optimizer.step_count = int(archive["__optimizer_step__"])
+
+
+def checkpoint_exists(path: str) -> bool:
+    return os.path.exists(path)

@@ -1,0 +1,249 @@
+"""Training loops: single-stage with gradient accumulation, and a real
+1F1B pipelined executor.
+
+The pipelined executor partitions a :class:`ParallelGPTModel` into
+``p x m`` layer groups (``m`` interleaved virtual chunks per rank, as in
+Megatron's interleaved schedule) and drives them microbatch-by-microbatch
+in exact (interleaved) 1F1B order — the same op stream
+:mod:`repro.pipeline_sim.schedule` produces — passing activations forward
+and gradients backward across group boundaries.  It is numerically
+identical to plain gradient accumulation (verified in tests) and, when
+given per-stage memory trackers, produces a *measured* per-stage
+activation profile: the toy-scale analogue of Figure 9.
+
+It also implements Appendix C's **microbatch-level activation
+recomputation**: given per-stage full-storage slot counts, the executor
+skips checkpointing for as many in-flight microbatches as the slots
+allow, re-using a slot as soon as its microbatch's backward completes
+(the "moving window" of Figure 10.b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, ScheduleError
+from ..layers.embedding import token_tensor
+from ..layers.module import Module
+from ..layers.transformer import Recompute
+from ..parallel.transformer import ParallelGPTModel
+from ..pipeline_sim.schedule import Op, OpKind, schedule_interleaved
+from ..tensor import MemoryTracker, Tensor, instrument
+from .optimizer import Adam
+
+
+def split_microbatches(ids: np.ndarray, targets: np.ndarray,
+                       num_microbatches: int) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Split ``(s, b)`` arrays into ``num_microbatches`` along batch."""
+    b = ids.shape[1]
+    if b % num_microbatches != 0:
+        raise ConfigError(f"batch {b} not divisible by {num_microbatches} microbatches")
+    return [
+        (i, t) for i, t in zip(
+            np.split(ids, num_microbatches, axis=1),
+            np.split(targets, num_microbatches, axis=1),
+        )
+    ]
+
+
+class Trainer:
+    """Gradient-accumulation training of a (serial or parallel) GPT."""
+
+    def __init__(self, model: Module, optimizer: Optional[Adam] = None,
+                 lr: float = 1e-3):
+        self.model = model
+        self.optimizer = optimizer or Adam(model.parameters(), lr=lr)
+        self.world = getattr(getattr(model, "group", None), "size", 1)
+
+    def train_step(self, ids: np.ndarray, targets: np.ndarray,
+                   num_microbatches: int = 1) -> float:
+        """One iteration: accumulate grads over microbatches, then step."""
+        self.optimizer.zero_grad()
+        total = 0.0
+        for mb_ids, mb_targets in split_microbatches(ids, targets, num_microbatches):
+            loss = self.model(
+                token_tensor(mb_ids, world=self.world),
+                token_tensor(mb_targets, world=self.world),
+            )
+            seed = [np.asarray(1.0 / num_microbatches)] * loss.world
+            loss.backward(seed)
+            total += loss.item()
+        if isinstance(self.model, ParallelGPTModel):
+            self.model.finish_grad_sync()
+        self.optimizer.step()
+        return total / num_microbatches
+
+
+@dataclass
+class PipelineStepResult:
+    loss: float
+    peak_stage_bytes: List[int]
+    #: per pipeline rank: microbatches that kept all activations
+    #: (Appendix C microbatch-level recomputation; zeros when disabled)
+    microbatches_stored_full: List[int] = None
+
+
+class PipelinedGPT:
+    """(Interleaved) 1F1B pipelined execution of a ``ParallelGPTModel``.
+
+    The model's ``L`` layers are cut into ``p * m`` groups; group ``g``
+    lives on pipeline rank ``g % p`` as its chunk ``g // p``.  Group 0
+    additionally owns the embedding and the last group the LM head.
+    ``train_step`` runs the exact (interleaved) 1F1B op order and
+    accumulates parameter gradients, leaving the optimizer step to the
+    caller (or use :meth:`fit_step`).
+
+    ``full_storage_slots`` (per pipeline rank) enables Appendix C's
+    microbatch-level recomputation: while a rank has a free slot, an
+    arriving microbatch keeps **all** activations (its layers'
+    checkpointing is bypassed); otherwise it is checkpointed as usual.
+    Slots free when the owning microbatch's last backward on that rank
+    completes — the moving window of Figure 10.b.
+    """
+
+    def __init__(self, model: ParallelGPTModel, pipeline_parallel: int,
+                 interleave_stages: int = 1):
+        L = len(model.layers)
+        self.num_groups = pipeline_parallel * interleave_stages
+        if L % self.num_groups != 0:
+            raise ConfigError(
+                f"{L} layers not divisible by p*m={self.num_groups}")
+        self.model = model
+        self.p = pipeline_parallel
+        self.m = interleave_stages
+        per = L // self.num_groups
+        self.group_layers = [
+            model.layers[g * per:(g + 1) * per] for g in range(self.num_groups)
+        ]
+
+    # -- stage execution ------------------------------------------------------
+    def _run_group(self, group: int, x: Tensor, targets: Optional[Tensor],
+                   store_full: bool = False) -> Tensor:
+        if group == 0:
+            x = self.model.embedding(x)
+        for layer in self.group_layers[group]:
+            if store_full and layer.recompute != Recompute.NONE:
+                saved = layer.recompute
+                layer.recompute = Recompute.NONE
+                try:
+                    x = layer(x)
+                finally:
+                    layer.recompute = saved
+            else:
+                x = layer(x)
+        if group == self.num_groups - 1:
+            if targets is None:
+                raise ScheduleError("last group needs targets")
+            x = self.model.head(x, targets)
+        return x
+
+    def train_step(self, ids: np.ndarray, targets: np.ndarray,
+                   num_microbatches: int,
+                   trackers: Optional[List[MemoryTracker]] = None,
+                   full_storage_slots: Optional[List[int]] = None) -> PipelineStepResult:
+        """One full iteration; returns mean loss, each pipeline rank's peak
+        activation bytes (max over that rank's tensor-parallel shards) and,
+        under microbatch-level recomputation, how many microbatches ran
+        without checkpointing per rank."""
+        world = self.model.group.size
+        microbatches = split_microbatches(ids, targets, num_microbatches)
+        if trackers is None:
+            trackers = [MemoryTracker() for _ in range(self.p)]
+        slots = list(full_storage_slots) if full_storage_slots else [0] * self.p
+
+        schedule = schedule_interleaved(self.p, num_microbatches, self.m)
+        ptr = [0] * self.p
+        outputs: Dict[Tuple[int, int], Tensor] = {}      # (mb, group) -> output
+        inputs: Dict[Tuple[int, int], Tensor] = {}       # (mb, group) -> boundary leaf
+        backward_done: set = set()
+        losses: List[float] = []
+        # Appendix C moving window state, per pipeline rank.
+        slots_in_use = [0] * self.p
+        full_microbatches: List[set] = [set() for _ in range(self.p)]
+        stored_full_count = [0] * self.p
+        remaining_backwards = [
+            {mb: self.m for mb in range(num_microbatches)} for _ in range(self.p)
+        ]
+
+        def ready(op: Op) -> bool:
+            if op.kind == OpKind.F:
+                return op.group == 0 or (op.microbatch, op.group - 1) in outputs
+            if op.group == self.num_groups - 1:
+                return (op.microbatch, op.group) in outputs
+            return ("B", op.microbatch, op.group + 1) in backward_done
+
+        def run(op: Op, rank: int) -> None:
+            mb, group = op.microbatch, op.group
+            with instrument(memory=trackers[rank]):
+                if op.kind == OpKind.F:
+                    # Moving window: claim a full-storage slot for a new
+                    # microbatch if one is free.
+                    if mb not in full_microbatches[rank] and slots_in_use[rank] < slots[rank]:
+                        slots_in_use[rank] += 1
+                        full_microbatches[rank].add(mb)
+                        stored_full_count[rank] += 1
+                    store_full = mb in full_microbatches[rank]
+                    if group == 0:
+                        x = token_tensor(microbatches[mb][0], world=world)
+                    else:
+                        prev = outputs[(mb, group - 1)]
+                        leaf = Tensor([np.asarray(s).copy() for s in prev.shards],
+                                      dtype=prev.dtype, requires_grad=True,
+                                      layout=prev.layout)
+                        inputs[(mb, group)] = leaf
+                        x = leaf
+                    tgt = (token_tensor(microbatches[mb][1], world=world)
+                           if group == self.num_groups - 1 else None)
+                    outputs[(mb, group)] = self._run_group(group, x, tgt,
+                                                           store_full=store_full)
+                    if group == self.num_groups - 1:
+                        losses.append(outputs[(mb, group)].item())
+                else:
+                    out = outputs.pop((mb, group))
+                    if group == self.num_groups - 1:
+                        grad = [np.asarray(1.0 / num_microbatches)] * out.world
+                    else:
+                        downstream = inputs.pop((mb, group + 1))
+                        if downstream.grad is None:
+                            raise ScheduleError("gradient missing at stage boundary")
+                        grad = downstream.grad
+                    out.backward(grad)
+                    backward_done.add(("B", mb, group))
+                    remaining_backwards[rank][mb] -= 1
+                    if (remaining_backwards[rank][mb] == 0
+                            and mb in full_microbatches[rank]):
+                        full_microbatches[rank].discard(mb)
+                        slots_in_use[rank] -= 1
+
+        total_ops = sum(len(ops) for ops in schedule)
+        executed = 0
+        while executed < total_ops:
+            progressed = False
+            for rank in range(self.p):
+                while ptr[rank] < len(schedule[rank]):
+                    op = schedule[rank][ptr[rank]]
+                    if not ready(op):
+                        break
+                    run(op, rank)
+                    ptr[rank] += 1
+                    executed += 1
+                    progressed = True
+            if not progressed:
+                raise ScheduleError("pipelined execution deadlocked")
+
+        self.model.finish_grad_sync()
+        return PipelineStepResult(
+            loss=float(np.mean(losses)),
+            peak_stage_bytes=[t.peak_bytes() for t in trackers],
+            microbatches_stored_full=stored_full_count,
+        )
+
+    def fit_step(self, optimizer: Adam, ids: np.ndarray, targets: np.ndarray,
+                 num_microbatches: int) -> float:
+        optimizer.zero_grad()
+        result = self.train_step(ids, targets, num_microbatches)
+        optimizer.step()
+        return result.loss

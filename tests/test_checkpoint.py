@@ -1,0 +1,172 @@
+"""Checkpoint/recompute primitive: equivalence, RNG replay, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AutogradError
+from repro.tensor import (
+    MemoryTracker, OpLog, checkpoint, from_numpy, instrument, no_grad,
+    parameter, seed,
+)
+from repro.tensor import functions as F
+from repro.tensor.oplog import OpKind, Phase
+
+rng = np.random.default_rng(9)
+
+
+def _block(w):
+    def fn(x):
+        return F.dropout(F.gelu(F.matmul(x, w)), 0.25, tag="blk")
+    return fn
+
+
+class TestEquivalence:
+    def test_loss_and_grads_match_direct(self):
+        x_arr = rng.normal(size=(4, 6))
+        w = parameter([rng.normal(size=(6, 6))])
+        seed(7)
+        x1 = from_numpy(x_arr, requires_grad=True)
+        l1 = F.sum_all(_block(w)(x1))
+        l1.backward()
+        gw = np.asarray(w.grad[0]).copy()
+        w.zero_grad()
+        seed(7)
+        x2 = from_numpy(x_arr, requires_grad=True)
+        l2 = F.sum_all(checkpoint(_block(w), x2))
+        l2.backward()
+        assert l1.item() == pytest.approx(l2.item(), abs=1e-12)
+        np.testing.assert_allclose(x1.grad[0], x2.grad[0])
+        np.testing.assert_allclose(gw, w.grad[0])
+
+    def test_rng_replay_gives_identical_dropout_mask(self):
+        # With a *stateful* RNG (no mask source), the recompute must replay
+        # the exact mask; a mismatch would corrupt gradients.
+        w = parameter([np.eye(4)])
+        seed(123)
+        x = from_numpy(np.ones((8, 4)), requires_grad=True)
+        out = checkpoint(lambda t: F.dropout(t, 0.5, tag="d"), x)
+        kept_forward = np.asarray(out.shards[0]).copy()
+        out.backward([np.ones((8, 4))])
+        # grad == mask/keep, so grad is nonzero exactly where forward kept.
+        grad = np.asarray(x.grad[0])
+        np.testing.assert_array_equal(grad > 0, kept_forward > 0)
+
+    def test_rng_stream_restored_after_recompute(self):
+        # Ops after the checkpointed backward must see the RNG stream as if
+        # recomputation never happened.
+        seed(11)
+        x = from_numpy(np.ones((4, 4)), requires_grad=True)
+        y = checkpoint(lambda t: F.gelu(t), x)
+        from repro.tensor import get_rng_state
+        state_before = repr(get_rng_state())
+        y.backward([np.ones((4, 4))])
+        assert repr(get_rng_state()) == state_before
+
+    def test_multi_output_region(self):
+        x = from_numpy(rng.normal(size=(2, 6)), requires_grad=True)
+
+        def fn(t):
+            a, b, c = F.split(t, 3, axis=-1)
+            return F.gelu(a), F.gelu(c)
+
+        out_a, out_c = checkpoint(fn, x)
+        F.sum_all(F.add(out_a, out_c)).backward()
+        x2 = from_numpy(np.asarray(x.shards[0]), requires_grad=True)
+        a2, c2 = fn(x2)
+        F.sum_all(F.add(a2, c2)).backward()
+        np.testing.assert_allclose(x.grad[0], x2.grad[0])
+
+    def test_nested_checkpoints(self):
+        w1 = parameter([rng.normal(size=(4, 4))])
+        w2 = parameter([rng.normal(size=(4, 4))])
+
+        def inner(t):
+            return F.gelu(F.matmul(t, w2))
+
+        def outer(t):
+            return checkpoint(inner, F.gelu(F.matmul(t, w1)))
+
+        x_arr = rng.normal(size=(3, 4))
+        x1 = from_numpy(x_arr, requires_grad=True)
+        F.sum_all(checkpoint(outer, x1)).backward()
+        g1 = (np.asarray(x1.grad[0]), np.asarray(w1.grad[0]).copy(),
+              np.asarray(w2.grad[0]).copy())
+        w1.zero_grad(); w2.zero_grad()
+        x2 = from_numpy(x_arr, requires_grad=True)
+        F.sum_all(F.gelu(F.matmul(F.gelu(F.matmul(x2, w1)), w2))).backward()
+        np.testing.assert_allclose(g1[0], x2.grad[0])
+        np.testing.assert_allclose(g1[1], w1.grad[0])
+        np.testing.assert_allclose(g1[2], w2.grad[0])
+
+    def test_no_grad_mode_is_plain_call(self):
+        x = from_numpy(np.ones((2, 2)))
+        with no_grad():
+            y = checkpoint(lambda t: F.gelu(t), x)
+        assert y._node is None
+
+    def test_output_count_mismatch_raises(self):
+        calls = {"n": 0}
+
+        def flaky(t):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return F.gelu(t), F.gelu(t)
+            return (F.gelu(t),)
+
+        x = from_numpy(np.ones((2, 2)), requires_grad=True)
+        a, b = checkpoint(flaky, x)
+        with pytest.raises(AutogradError):
+            F.sum_all(F.add(a, b)).backward()
+
+
+class TestAccounting:
+    def test_only_inputs_stored(self):
+        w = parameter([rng.normal(size=(8, 8))])
+        mt = MemoryTracker()
+        with instrument(memory=mt):
+            x = from_numpy(rng.normal(size=(4, 8)), requires_grad=True)
+            y = checkpoint(lambda t: F.gelu(F.matmul(t, w)), x)
+            # only x is stored (32 elems * 2B); the matmul input and gelu
+            # input inside the region are not.
+            assert mt.live_bytes(0) == 32 * 2
+
+    def test_direct_stores_internals(self):
+        w = parameter([rng.normal(size=(8, 8))])
+        mt = MemoryTracker()
+        with instrument(memory=mt):
+            x = from_numpy(rng.normal(size=(4, 8)), requires_grad=True)
+            y = F.gelu(F.matmul(x, w))
+            assert mt.live_bytes(0) == 32 * 2 + 32 * 2  # matmul in + gelu in
+
+    def test_memory_freed_after_backward(self):
+        w = parameter([rng.normal(size=(8, 8))])
+        mt = MemoryTracker()
+        with instrument(memory=mt):
+            x = from_numpy(rng.normal(size=(4, 8)), requires_grad=True)
+            y = checkpoint(lambda t: F.gelu(F.matmul(t, w)), x)
+            F.sum_all(y).backward()
+            assert mt.live_bytes(0) == 0
+        # Peak during backward includes the transient recompute buffers.
+        assert mt.peak_bytes(0) > 32 * 2
+
+    def test_recompute_phase_logged(self):
+        w = parameter([rng.normal(size=(8, 8))])
+        log = OpLog()
+        with instrument(oplog=log):
+            x = from_numpy(rng.normal(size=(4, 8)), requires_grad=True)
+            y = checkpoint(lambda t: F.gelu(F.matmul(t, w)), x)
+            F.sum_all(y).backward()
+        fwd = log.flops(Phase.FORWARD, OpKind.GEMM)
+        rec = log.flops(Phase.RECOMPUTE, OpKind.GEMM)
+        bwd = log.flops(Phase.BACKWARD, OpKind.GEMM)
+        assert fwd > 0
+        assert rec == fwd             # the region is re-run once
+        assert bwd == pytest.approx(2 * fwd)  # two gradient GEMMs
+
+    def test_no_recompute_phase_without_checkpoint(self):
+        w = parameter([rng.normal(size=(8, 8))])
+        log = OpLog()
+        with instrument(oplog=log):
+            x = from_numpy(rng.normal(size=(4, 8)), requires_grad=True)
+            F.sum_all(F.gelu(F.matmul(x, w))).backward()
+        assert log.flops(Phase.RECOMPUTE) == 0

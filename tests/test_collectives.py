@@ -1,0 +1,190 @@
+"""Collectives: data semantics vs NumPy one-liners, ring cost identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    CollectiveCostModel, ProcessGroup, all_gather, all_reduce, broadcast,
+    gather_concat, reduce_scatter, scatter,
+)
+from repro.errors import CommError
+from repro.hardware import ClusterSpec, NodeSpec, selene_like
+from repro.tensor.backend import AbstractArray
+from repro.tensor.oplog import CommInfo
+
+worlds = st.integers(min_value=1, max_value=8)
+
+
+def _shards(rng, world, shape):
+    return [rng.normal(size=shape) for _ in range(world)]
+
+
+class TestDataSemantics:
+    @given(worlds)
+    @settings(max_examples=20, deadline=None)
+    def test_all_reduce_is_sum(self, world):
+        rng = np.random.default_rng(world)
+        shards = _shards(rng, world, (3, 4))
+        out = all_reduce(shards)
+        expected = np.sum(shards, axis=0)
+        for o in out:
+            np.testing.assert_allclose(o, expected)
+
+    @given(worlds, st.integers(0, 1))
+    @settings(max_examples=20, deadline=None)
+    def test_all_gather_is_concat(self, world, axis):
+        rng = np.random.default_rng(world * 10 + axis)
+        shards = _shards(rng, world, (2, 3))
+        out = all_gather(shards, axis=axis)
+        expected = np.concatenate(shards, axis=axis)
+        for o in out:
+            np.testing.assert_array_equal(o, expected)
+
+    @given(worlds)
+    @settings(max_examples=20, deadline=None)
+    def test_reduce_scatter_equals_allreduce_then_split(self, world):
+        rng = np.random.default_rng(world)
+        shards = _shards(rng, world, (2 * world, 3))
+        out = reduce_scatter(shards, axis=0)
+        full = np.sum(shards, axis=0)
+        for r, o in enumerate(out):
+            np.testing.assert_allclose(o, full[2 * r:2 * (r + 1)])
+
+    @given(worlds)
+    @settings(max_examples=20, deadline=None)
+    def test_ring_identity_rs_then_ag_equals_ar(self, world):
+        """The paper's decomposition: all-reduce == reduce-scatter + all-gather."""
+        rng = np.random.default_rng(world)
+        shards = _shards(rng, world, (world * 2, 3))
+        via_ring = all_gather(reduce_scatter(shards, axis=0), axis=0)
+        direct = all_reduce(shards)
+        for a, b in zip(via_ring, direct):
+            np.testing.assert_allclose(a, b)
+
+    def test_scatter_and_gather_concat_roundtrip(self):
+        full = np.arange(24).reshape(6, 4).astype(float)
+        parts = scatter(full, 3, axis=0)
+        np.testing.assert_array_equal(gather_concat(parts, axis=0), full)
+
+    def test_broadcast(self):
+        x = np.ones((2, 2))
+        out = broadcast(x, 4)
+        assert len(out) == 4 and all(o is x for o in out)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(CommError):
+            all_reduce([np.zeros((2,)), np.zeros((3,))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CommError):
+            all_reduce([])
+
+    def test_abstract_shards(self):
+        out = reduce_scatter([AbstractArray((4, 3))] * 2, axis=0)
+        assert all(o.shape == (2, 3) for o in out)
+        out = all_gather([AbstractArray((2, 3))] * 4, axis=0)
+        assert all(o.shape == (8, 3) for o in out)
+
+
+class TestProcessGroup:
+    def test_validation(self):
+        with pytest.raises(CommError):
+            ProcessGroup(0)
+        with pytest.raises(CommError):
+            ProcessGroup(2, scope="bogus")
+
+    def test_world_check(self):
+        g = ProcessGroup(4)
+        with pytest.raises(CommError):
+            g.check_world(2)
+        g.check_world(4)
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.cost = CollectiveCostModel()
+
+    def test_single_rank_free(self):
+        assert self.cost.all_reduce_time(1 << 20, 1) == 0.0
+
+    def test_ar_equals_rs_plus_ag_bandwidth(self):
+        """Equal bandwidth use (Section 4.2.2), pair pays one extra call."""
+        nbytes, n = 64 << 20, 8
+        ar = self.cost.all_reduce_time(nbytes, n)
+        rs = self.cost.reduce_scatter_time(nbytes, n)
+        ag = self.cost.all_gather_time(nbytes, n)
+        assert rs + ag == pytest.approx(ar + self.cost.call_overhead)
+
+    def test_time_scales_with_bytes(self):
+        small = self.cost.all_reduce_time(1 << 20, 8)
+        large = self.cost.all_reduce_time(64 << 20, 8)
+        assert large > small
+
+    def test_time_increases_with_group_size(self):
+        assert (self.cost.all_reduce_time(1 << 26, 8)
+                > self.cost.all_reduce_time(1 << 26, 2))
+
+    def test_tp_uses_nvlink_dp_uses_ib(self):
+        cost = CollectiveCostModel(cluster=selene_like(64))
+        tp = cost.time(CommInfo("all_reduce", 1 << 26, 8, "tp"))
+        dp = cost.time(CommInfo("all_reduce", 1 << 26, 8, "dp"))
+        assert dp > tp  # InfiniBand is the bottleneck across nodes
+
+    def test_single_node_cluster_everything_on_nvlink(self):
+        cost = CollectiveCostModel(cluster=ClusterSpec(num_nodes=1))
+        tp = cost.time(CommInfo("all_reduce", 1 << 26, 8, "tp"))
+        dp = cost.time(CommInfo("all_reduce", 1 << 26, 8, "dp"))
+        assert tp == pytest.approx(dp)
+
+    def test_oversized_tp_group_spills_to_ib(self):
+        cost = CollectiveCostModel(cluster=selene_like(16))
+        small = cost.time(CommInfo("all_gather", 1 << 26, 8, "tp"))
+        wide = cost.time(CommInfo("all_gather", 1 << 26, 16, "tp"))
+        assert wide > 2 * small
+
+    def test_p2p(self):
+        t = self.cost.p2p_time(1 << 20)
+        link = self.cost.cluster.node.intra_node_link
+        assert t == pytest.approx(
+            self.cost.call_overhead + link.latency + (1 << 20) / link.bandwidth)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(CommError):
+            self.cost.time(CommInfo("all_to_all", 1, 4, "tp"))
+
+    def test_bad_group_rejected(self):
+        with pytest.raises(CommError):
+            self.cost.time(CommInfo("all_reduce", 1, 0, "tp"))
+
+
+class TestHardware:
+    def test_selene_like_rounds_up_nodes(self):
+        cluster = selene_like(9)
+        assert cluster.num_nodes == 2
+        assert cluster.world_size == 16
+
+    def test_link_between(self):
+        cluster = selene_like(16)
+        assert cluster.link_between(0, 7).name.startswith("NVLink")
+        assert cluster.link_between(0, 8).name.endswith("InfiniBand")
+
+    def test_group_link_bottleneck(self):
+        cluster = selene_like(16)
+        assert cluster.group_link([0, 1, 2]).name.startswith("NVLink")
+        assert cluster.group_link([0, 8]).name.endswith("InfiniBand")
+
+    def test_rank_bounds(self):
+        from repro.errors import ConfigError
+        cluster = selene_like(8)
+        with pytest.raises(ConfigError):
+            cluster.node_of(8)
+
+    def test_gemm_throughput_curve(self):
+        from repro.hardware import GPUSpec
+        gpu = GPUSpec()
+        # Efficiency grows monotonically with GEMM size toward the asymptote.
+        small = gpu.gemm_throughput(1e9)
+        big = gpu.gemm_throughput(1e13)
+        assert small < big <= gpu.peak_flops * gpu.gemm_efficiency

@@ -1,0 +1,108 @@
+"""Section 4.2.2's communication accounting, verified on the op log:
+
+"Tensor parallelism requires four all-reduces in a single forward and
+backward pass whereas tensor together with sequence parallelism requires
+four all-gathers and four reduce-scatters in a single forward and
+backward pass."
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.config import PAPER_CONFIGS
+from repro.layers.transformer import Recompute
+from repro.perf_model import layer_oplog
+from repro.tensor.oplog import Phase
+
+M22 = PAPER_CONFIGS["22B"].model
+
+
+def comm_counter(sequence_parallel, recompute=Recompute.NONE,
+                 fuse=True, phase=None):
+    log = layer_oplog(M22, 4, 8, sequence_parallel=sequence_parallel,
+                      recompute=recompute, fuse_sp_gather=fuse)
+    return Counter(
+        r.comm.op for r in log.comm_records(phase)
+    ), log
+
+
+class TestTensorParallelCommCounts:
+    def test_four_all_reduces_per_layer(self):
+        counts, _ = comm_counter(sequence_parallel=False)
+        assert counts == {"all_reduce": 4}
+
+    def test_two_forward_two_backward(self):
+        fwd, _ = comm_counter(False, phase=Phase.FORWARD)
+        bwd, _ = comm_counter(False, phase=Phase.BACKWARD)
+        assert fwd == {"all_reduce": 2}   # f̄ after attention and MLP
+        assert bwd == {"all_reduce": 2}   # f backward for both blocks
+
+    def test_backward_all_reduces_are_overlapped(self):
+        _, log = comm_counter(False)
+        bwd = [r for r in log.comm_records(Phase.BACKWARD)]
+        assert all(r.overlapped for r in bwd)
+
+
+class TestSequenceParallelCommCounts:
+    def test_four_gathers_four_scatters_per_layer(self):
+        counts, _ = comm_counter(sequence_parallel=True)
+        # fwd: AG (qkv) + RS (wo) + AG (fc1) + RS (fc2)
+        # bwd: AG (ḡ x2) + RS (g x2) + 2 overlapped re-gathers (the Y_i^s
+        # trick's extra all-gathers, which the paper counts separately as
+        # "an extra all-gather in the backward pass").
+        assert counts["reduce_scatter"] == 4
+        assert counts["all_gather"] == 4 + 2
+
+    def test_regathers_are_the_overlapped_extras(self):
+        _, log = comm_counter(True)
+        regathers = [r for r in log.comm_records()
+                     if r.name == "ag_matmul.bwd_regather"]
+        assert len(regathers) == 2
+        assert all(r.overlapped for r in regathers)
+
+    def test_unfused_variant_has_plain_conjugate_counts(self):
+        """Without the Y_i^s trick, exactly 4 AG + 4 RS (the paper's
+        stated count for tensor+sequence parallelism)."""
+        counts, _ = comm_counter(True, fuse=False)
+        assert counts == {"all_gather": 4, "reduce_scatter": 4}
+
+    def test_equal_bandwidth_with_tensor_parallel(self):
+        """"the communication bandwidth used ... are the same": per layer,
+        4 ARs move the same bytes as 4 AGs + 4 RSs of the same tensors."""
+        _, tp_log = comm_counter(False)
+        _, sp_log = comm_counter(True, fuse=False)
+        n = 8
+
+        def ring_bytes(records):
+            total = 0.0
+            for r in records:
+                if r.comm.op == "all_reduce":
+                    total += 2 * (n - 1) / n * r.comm.nbytes
+                else:
+                    total += (n - 1) / n * r.comm.nbytes
+            return total
+
+        tp = ring_bytes(tp_log.comm_records())
+        sp = ring_bytes(sp_log.comm_records())
+        assert sp == pytest.approx(tp, rel=1e-12)
+
+
+class TestRecomputeCommCounts:
+    def test_full_recompute_repeats_forward_collectives(self):
+        counts, _ = comm_counter(False, recompute=Recompute.FULL,
+                                 phase=Phase.RECOMPUTE)
+        assert counts == {"all_reduce": 2}  # the two f̄ of the re-run
+
+    def test_selective_recompute_is_communication_free(self):
+        """The attention core contains no collectives — part of why it is
+        the right thing to recompute."""
+        counts, _ = comm_counter(True, recompute=Recompute.SELECTIVE,
+                                 phase=Phase.RECOMPUTE)
+        assert sum(counts.values()) == 0
+
+    def test_full_sharded_adds_one_gather_in_recompute(self):
+        counts, _ = comm_counter(False, recompute=Recompute.FULL_SHARDED,
+                                 phase=Phase.RECOMPUTE)
+        assert counts["all_gather"] == 1
+        assert counts["all_reduce"] == 2

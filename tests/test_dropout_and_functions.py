@@ -1,0 +1,149 @@
+"""Dropout semantics (replicated/sharded/mask-source), op-specific checks."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.errors import ShapeError
+from repro.tensor import FP32, MemoryTracker, Tensor, from_numpy, instrument, seed
+from repro.tensor import functions as F
+from repro.tensor.functions import MaskSource
+
+rng = np.random.default_rng(3)
+
+
+class TestDropoutModes:
+    def test_identity_when_p_zero(self):
+        x = from_numpy(rng.normal(size=(4, 4)), requires_grad=True)
+        y = F.dropout(x, 0.0)
+        np.testing.assert_array_equal(np.asarray(y.shards[0]), np.asarray(x.shards[0]))
+        mt = MemoryTracker()
+        with instrument(memory=mt):
+            x2 = from_numpy(rng.normal(size=(4, 4)), requires_grad=True)
+            F.dropout(x2, 0.0)
+        assert mt.live_bytes(0) == 0  # no mask stored
+
+    def test_replicated_mode_same_mask_every_rank(self):
+        seed(0)
+        x = Tensor([np.ones((64, 4))] * 3, requires_grad=True, layout="replicated")
+        y = F.dropout(x, 0.5, mode="replicated")
+        a, b, c = [np.asarray(s) for s in y.shards]
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(b, c)
+
+    def test_sharded_mode_independent_masks(self):
+        seed(0)
+        x = Tensor([np.ones((64, 4))] * 3, requires_grad=True)
+        y = F.dropout(x, 0.5, mode="sharded")
+        a, b = np.asarray(y.shards[0]), np.asarray(y.shards[1])
+        assert not np.array_equal(a, b)
+
+    def test_inverted_scaling_preserves_expectation(self):
+        seed(1)
+        x = from_numpy(np.ones((200, 200)))
+        y = np.asarray(F.dropout(x, 0.3).shards[0])
+        assert y.mean() == pytest.approx(1.0, abs=0.02)
+        kept = y[y > 0]
+        assert kept[0] == pytest.approx(1 / 0.7)
+
+    def test_mask_source_slices_consistently(self):
+        """A sharded layout must apply slices of the same full mask the
+        replicated layout applies whole — the key to cross-layout tests."""
+        ms = MaskSource(seed=5, keep_prob=0.8)
+        full = np.ones((8, 4))
+        x_full = Tensor([full], requires_grad=True)
+        y_full = np.asarray(F.dropout(x_full, 0.2, mode="replicated",
+                                      tag="T", mask_source=ms).shards[0])
+        shards = [np.ascontiguousarray(p).copy() for p in np.split(full, 2, axis=0)]
+        x_sh = Tensor(shards, requires_grad=True, layout="shard(dim=0)")
+        y_sh = F.dropout(x_sh, 0.2, mode="sharded", shard_axis=0,
+                         tag="T", mask_source=ms)
+        reassembled = np.concatenate([np.asarray(s) for s in y_sh.shards], axis=0)
+        np.testing.assert_array_equal(reassembled, y_full)
+
+    def test_mask_source_deterministic_by_tag(self):
+        ms = MaskSource(seed=5, keep_prob=0.5)
+        m1 = ms.full_mask("a", (10, 10))
+        m2 = ms.full_mask("a", (10, 10))
+        m3 = ms.full_mask("b", (10, 10))
+        np.testing.assert_array_equal(m1, m2)
+        assert not np.array_equal(m1, m3)
+
+    def test_mask_stored_as_one_byte(self):
+        seed(0)
+        mt = MemoryTracker()
+        with instrument(memory=mt):
+            x = from_numpy(np.ones((10, 10)), requires_grad=True)
+            F.dropout(x, 0.5)
+        assert mt.live_bytes(0) == 100  # 1 byte per element
+
+    def test_invalid_p_rejected(self):
+        x = from_numpy(np.ones((2, 2)))
+        with pytest.raises(ShapeError):
+            F.dropout(x, 1.0)
+        with pytest.raises(ShapeError):
+            F.dropout(x, -0.1)
+
+    def test_invalid_mode_rejected(self):
+        x = from_numpy(np.ones((2, 2)))
+        with pytest.raises(ShapeError):
+            F.dropout(x, 0.5, mode="diagonal")
+
+
+class TestNumericsAgainstReference:
+    def test_softmax_rows_sum_to_one(self):
+        x = from_numpy(rng.normal(size=(5, 7)) * 10)
+        y = np.asarray(F.softmax(x).shards[0])
+        np.testing.assert_allclose(y.sum(axis=-1), 1.0, atol=1e-12)
+        assert np.all(y > 0)
+
+    def test_softmax_stability_large_values(self):
+        x = from_numpy(np.array([[1000.0, 1000.0, -1000.0]]))
+        y = np.asarray(F.softmax(x).shards[0])
+        np.testing.assert_allclose(y, [[0.5, 0.5, 0.0]], atol=1e-12)
+
+    def test_gelu_close_to_exact_erf_form(self):
+        x = rng.normal(size=1000) * 2
+        got = np.asarray(F.gelu(from_numpy(x)).shards[0])
+        exact = 0.5 * x * (1 + special.erf(x / np.sqrt(2)))
+        np.testing.assert_allclose(got, exact, atol=2e-3)
+
+    def test_cross_entropy_matches_scipy(self):
+        logits = rng.normal(size=(6, 2, 5))
+        targets = rng.integers(0, 5, size=(6, 2))
+        loss = F.cross_entropy(
+            F.cast(from_numpy(logits), FP32),
+            from_numpy(targets.astype(float)),
+        ).item()
+        logp = logits - special.logsumexp(logits, axis=-1, keepdims=True)
+        expected = -np.mean(np.take_along_axis(logp, targets[..., None], -1))
+        assert loss == pytest.approx(expected, abs=1e-12)
+
+    def test_causal_mask_blocks_upper_triangle(self):
+        x = from_numpy(np.ones((3, 3)))
+        y = np.asarray(F.softmax(F.causal_mask(x)).shards[0])
+        # row i attends to positions <= i uniformly
+        np.testing.assert_allclose(y[0], [1, 0, 0], atol=1e-9)
+        np.testing.assert_allclose(y[1], [0.5, 0.5, 0], atol=1e-9)
+        np.testing.assert_allclose(y[2], [1 / 3] * 3, atol=1e-9)
+
+    def test_causal_mask_requires_square(self):
+        with pytest.raises(ShapeError):
+            F.causal_mask(from_numpy(np.ones((2, 3))))
+
+    def test_embedding_lookup_and_scatter(self):
+        from repro.tensor import parameter
+        table = parameter([rng.normal(size=(6, 3))])
+        ids = from_numpy(np.array([[0, 5], [2, 2]]).astype(float))
+        out = F.embedding(table, ids)
+        assert out.shape == (2, 2, 3)
+        F.sum_all(out).backward()
+        grad = np.asarray(table.grad[0])
+        np.testing.assert_allclose(grad[2], 2.0 * np.ones(3))  # id 2 used twice
+        np.testing.assert_allclose(grad[1], np.zeros(3))
+
+    def test_cast_changes_accounting_dtype(self):
+        x = from_numpy(np.ones((4,)))
+        y = F.cast(x, FP32)
+        assert y.dtype.nbytes == 4
+        assert x.dtype.nbytes == 2

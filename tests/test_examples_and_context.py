@@ -1,0 +1,105 @@
+"""Examples must run end-to-end, and the execution context behaves."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    MemoryTracker, OpLog, ctx, enable_grad, get_rng_state, instrument,
+    is_grad_enabled, no_grad, phase, seed, set_rng_state,
+)
+from repro.tensor.oplog import Phase
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=300,
+        cwd=str(EXAMPLES.parent),
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+class TestExamplesRun:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "matches serial: True" in out
+        assert "full activation recomputation" in out
+
+    def test_long_sequence(self):
+        out = run_example("long_sequence_training.py")
+        assert "32768" in out
+
+    def test_pretrain_gpt_minimal(self):
+        out = run_example("pretrain_gpt.py", "--train-iters", "2",
+                          "--sequence-parallel", "--log-interval", "1")
+        assert "lm loss" in out and "greedy sample" in out
+
+    def test_fragmentation_study(self):
+        out = run_example("fragmentation_study.py")
+        assert "first-fit" in out and "caching" in out
+
+    def test_what_if_h100(self):
+        out = run_example("what_if_h100.py")
+        assert "H100" in out
+
+    def test_finetune_packed_documents(self):
+        out = run_example("finetune_packed_documents.py")
+        assert "masked loss" in out and "resumed from step-20" in out
+
+
+class TestExecutionContext:
+    def test_no_grad_nesting_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with enable_grad():
+                assert is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_phase_nesting(self):
+        assert ctx().phase == Phase.FORWARD
+        with phase(Phase.BACKWARD):
+            assert ctx().phase == Phase.BACKWARD
+            with phase(Phase.RECOMPUTE):
+                assert ctx().phase == Phase.RECOMPUTE
+            assert ctx().phase == Phase.BACKWARD
+        assert ctx().phase == Phase.FORWARD
+
+    def test_instrument_restores_previous(self):
+        outer = MemoryTracker()
+        inner = MemoryTracker()
+        with instrument(memory=outer):
+            assert ctx().memory is outer
+            with instrument(memory=inner):
+                assert ctx().memory is inner
+            assert ctx().memory is outer
+        assert ctx().memory is not outer
+
+    def test_instrument_none_inherits(self):
+        log = OpLog()
+        with instrument(oplog=log):
+            with instrument(memory=MemoryTracker()):
+                assert ctx().oplog is log  # not clobbered by None
+
+    def test_rng_state_roundtrip(self):
+        seed(1234)
+        state = get_rng_state()
+        a = ctx().rng.random(5)
+        set_rng_state(state)
+        b = ctx().rng.random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_resets_stream(self):
+        seed(7)
+        a = ctx().rng.random(3)
+        seed(7)
+        b = ctx().rng.random(3)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,144 @@
+"""Property-based fuzzing across the substrate: random op chains under
+checkpointing, random-duration pipeline simulations, random allocator
+traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocator import FirstFitAllocator
+from repro.errors import PlanningError
+from repro.pipeline_sim import PipelineCosts, schedule_1f1b, schedule_interleaved, simulate
+from repro.tensor import checkpoint, from_numpy, parameter, seed
+from repro.tensor import functions as F
+
+
+OPS = {
+    "gelu": lambda t, rng: F.gelu(t),
+    "softmax": lambda t, rng: F.softmax(t),
+    "layernorm": lambda t, rng: F.layernorm(
+        t, parameter([np.ones(t.shape[-1])]), parameter([np.zeros(t.shape[-1])])),
+    "dropout": lambda t, rng: F.dropout(t, 0.3, tag="fuzz"),
+    "scale": lambda t, rng: F.scale(t, 1.7),
+    "matmul": lambda t, rng: F.matmul(
+        t, from_numpy(rng.normal(size=(t.shape[-1], t.shape[-1])))),
+    "residual": lambda t, rng: F.add(F.gelu(t), t),
+}
+
+
+class TestCheckpointFuzz:
+    @given(st.lists(st.sampled_from(sorted(OPS)), min_size=1, max_size=5),
+           st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_chain_checkpoint_equals_direct(self, chain, seed_value):
+        """checkpoint(f) == f for arbitrary compositions of library ops,
+        including stateful dropout (RNG replay)."""
+        rng = np.random.default_rng(seed_value)
+        x_arr = rng.normal(size=(4, 6))
+
+        def body(t):
+            local = np.random.default_rng(seed_value + 1)
+            for name in chain:
+                t = OPS[name](t, local)
+            return t
+
+        seed(seed_value)
+        x1 = from_numpy(x_arr, requires_grad=True)
+        l1 = F.sum_all(body(x1))
+        l1.backward()
+
+        seed(seed_value)
+        x2 = from_numpy(x_arr, requires_grad=True)
+        l2 = F.sum_all(checkpoint(body, x2))
+        l2.backward()
+
+        assert l2.item() == pytest.approx(l1.item(), abs=1e-10)
+        np.testing.assert_allclose(np.asarray(x2.grad[0]),
+                                   np.asarray(x1.grad[0]), atol=1e-10)
+
+    @given(st.lists(st.sampled_from(sorted(OPS)), min_size=1, max_size=4),
+           st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_memory_always_released_after_backward(self, chain, seed_value):
+        from repro.tensor import MemoryTracker, instrument
+        rng = np.random.default_rng(seed_value)
+        tracker = MemoryTracker()
+        with instrument(memory=tracker):
+            seed(seed_value)
+            x = from_numpy(rng.normal(size=(3, 4)), requires_grad=True)
+
+            def body(t):
+                local = np.random.default_rng(seed_value)
+                for name in chain:
+                    t = OPS[name](t, local)
+                return t
+
+            F.sum_all(checkpoint(body, x)).backward()
+        assert tracker.live_bytes(0) == 0
+
+
+class TestSimulatorFuzz:
+    @given(st.integers(1, 5), st.integers(1, 8), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_durations_never_deadlock(self, p, n, seed_value):
+        rng = np.random.default_rng(seed_value)
+        fwd = rng.uniform(0.1, 2.0, size=p).tolist()
+        bwd = rng.uniform(0.1, 4.0, size=p).tolist()
+        result = simulate(schedule_1f1b(p, n), PipelineCosts(
+            num_groups=p,
+            forward_time=lambda g: fwd[g],
+            backward_time=lambda g: bwd[g],
+            p2p_time=rng.uniform(0, 0.5),
+        ))
+        # Makespan can never beat the busiest rank's serial work.
+        for rank in range(p):
+            assert result.makespan >= n * (fwd[rank] + bwd[rank]) - 1e-9
+        assert 0.0 <= result.bubble_fraction < 1.0
+
+    @given(st.integers(2, 4), st.integers(1, 3), st.sampled_from([2, 3]),
+           st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_interleaved_random_durations(self, p, rounds, m, seed_value):
+        n = p * rounds
+        rng = np.random.default_rng(seed_value)
+        groups = p * m
+        fwd = rng.uniform(0.1, 1.0, size=groups).tolist()
+        bwd = rng.uniform(0.1, 2.0, size=groups).tolist()
+        result = simulate(schedule_interleaved(p, n, m), PipelineCosts(
+            num_groups=groups,
+            forward_time=lambda g: fwd[g],
+            backward_time=lambda g: bwd[g],
+        ))
+        assert result.makespan > 0
+        # every rank executed all its work
+        for rank in range(p):
+            work = n * sum(fwd[g] + bwd[g] for g in range(groups) if g % p == rank)
+            assert result.busy_time[rank] == pytest.approx(work)
+
+
+class TestAllocatorFuzz:
+    @given(st.lists(st.integers(1, 10_000), min_size=1, max_size=60),
+           st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_alloc_free_invariants(self, sizes, seed_value):
+        rng = np.random.default_rng(seed_value)
+        allocator = FirstFitAllocator(alignment=64)
+        live = {}
+        expected_live = 0
+        for size in sizes:
+            if live and rng.random() < 0.4:
+                key = list(live)[int(rng.integers(len(live)))]
+                allocator.free(live.pop(key))
+                expected_live -= key[1]
+            rounded = (size + 63) // 64 * 64
+            handle = allocator.alloc(size)
+            live[(handle, rounded)] = handle
+            expected_live += rounded
+            assert allocator.live_bytes == expected_live
+            assert allocator.reserved_bytes >= allocator.live_bytes
+        for (handle, rounded), h in list(live.items()):
+            allocator.free(h)
+            expected_live -= rounded
+        assert allocator.live_bytes == 0
+        assert allocator.reserved_bytes == 0  # full coalesce + arena shrink

@@ -1,0 +1,164 @@
+"""The central correctness claim: tensor parallelism, sequence parallelism
+and every recomputation strategy compute *exactly* what the serial model
+computes — same loss, same gradients — with dropout active.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.layers import GPTModel, Recompute, token_tensor
+from repro.parallel import ParallelGPTModel, fuse_qkv, fuse_qkv_bias
+from repro.tensor.functions import MaskSource
+
+from helpers import TINY, gather_grad, random_tokens
+
+rng = np.random.default_rng(31)
+MS = MaskSource(seed=77, keep_prob=0.9)
+
+
+@pytest.fixture(scope="module")
+def serial():
+    model = GPTModel(TINY, seed=4, mask_source=MS)
+    ids = random_tokens(rng, TINY.vocab_size, TINY.seq_length, 2)
+    tgt = random_tokens(rng, TINY.vocab_size, TINY.seq_length, 2)
+    loss = model(token_tensor(ids), token_tensor(tgt))
+    loss.backward()
+    return model, ids, tgt, loss.item()
+
+
+def build_parallel(serial_model, t, sp, rc, fuse=True):
+    return ParallelGPTModel(
+        TINY, tensor_parallel=t, sequence_parallel=sp, recompute=rc,
+        fuse_sp_gather=fuse, mask_source=MS, serial=serial_model,
+    )
+
+
+@pytest.mark.parametrize("t", [2, 4])
+@pytest.mark.parametrize("sp", [False, True])
+@pytest.mark.parametrize("rc", [Recompute.NONE, Recompute.SELECTIVE, Recompute.FULL])
+class TestFullEquivalence:
+    def test_loss_matches(self, serial, t, sp, rc):
+        model_s, ids, tgt, loss_s = serial
+        m = build_parallel(model_s, t, sp, rc)
+        loss = m(token_tensor(ids, world=t), token_tensor(tgt, world=t))
+        assert loss.item() == pytest.approx(loss_s, abs=1e-9)
+        # Loss is replicated identically on every rank.
+        vals = [float(np.asarray(s)) for s in loss.shards]
+        assert max(vals) - min(vals) < 1e-12
+
+    def test_gradients_match(self, serial, t, sp, rc):
+        model_s, ids, tgt, _ = serial
+        m = build_parallel(model_s, t, sp, rc)
+        loss = m(token_tensor(ids, world=t), token_tensor(tgt, world=t))
+        loss.backward()
+        m.finish_grad_sync()
+
+        layer_s, layer_p = model_s.layers[0], m.layers[0]
+        # MLP column/row parallel weights
+        np.testing.assert_allclose(
+            gather_grad(layer_p.mlp.fc1.weight),
+            np.asarray(layer_s.mlp.fc1.weight.grad[0]), atol=1e-8)
+        np.testing.assert_allclose(
+            gather_grad(layer_p.mlp.fc2.weight),
+            np.asarray(layer_s.mlp.fc2.weight.grad[0]), atol=1e-8)
+        # Fused QKV: rearrange the serial grads the same way the weights are.
+        expected_qkv = fuse_qkv(
+            np.asarray(layer_s.attn.wq.weight.grad[0]),
+            np.asarray(layer_s.attn.wk.weight.grad[0]),
+            np.asarray(layer_s.attn.wv.weight.grad[0]), t)
+        np.testing.assert_allclose(gather_grad(layer_p.attn.qkv.weight),
+                                   expected_qkv, atol=1e-8)
+        expected_qkv_bias = fuse_qkv_bias(
+            np.asarray(layer_s.attn.wq.bias.grad[0]),
+            np.asarray(layer_s.attn.wk.bias.grad[0]),
+            np.asarray(layer_s.attn.wv.bias.grad[0]), t)
+        np.testing.assert_allclose(gather_grad(layer_p.attn.qkv.bias),
+                                   expected_qkv_bias, atol=1e-8)
+        # Attention output projection (row parallel) + its bias (replicated)
+        np.testing.assert_allclose(
+            gather_grad(layer_p.attn.wo.weight),
+            np.asarray(layer_s.attn.wo.weight.grad[0]), atol=1e-8)
+        np.testing.assert_allclose(
+            np.asarray(layer_p.attn.wo.bias.grad[0]),
+            np.asarray(layer_s.attn.wo.bias.grad[0]), atol=1e-8)
+        # Layer norms
+        np.testing.assert_allclose(
+            np.asarray(layer_p.ln1.gamma.grad[0]),
+            np.asarray(layer_s.ln1.gamma.grad[0]), atol=1e-8)
+        np.testing.assert_allclose(
+            np.asarray(layer_p.ln2.beta.grad[0]),
+            np.asarray(layer_s.ln2.beta.grad[0]), atol=1e-8)
+        # Vocab-parallel embedding + position
+        np.testing.assert_allclose(
+            gather_grad(m.embedding.word),
+            np.asarray(model_s.embedding.word.grad[0]), atol=1e-8)
+        np.testing.assert_allclose(
+            np.asarray(m.embedding.position.grad[0]),
+            np.asarray(model_s.embedding.position.grad[0]), atol=1e-8)
+        # Vocab-parallel LM head + final layer norm
+        np.testing.assert_allclose(
+            gather_grad(m.head.proj.weight),
+            np.asarray(model_s.head.proj.weight.grad[0]), atol=1e-8)
+        np.testing.assert_allclose(
+            np.asarray(m.head.ln_f.gamma.grad[0]),
+            np.asarray(model_s.head.ln_f.gamma.grad[0]), atol=1e-8)
+
+
+class TestVariants:
+    def test_unfused_sp_gather_same_numerics(self, serial):
+        model_s, ids, tgt, loss_s = serial
+        m = build_parallel(model_s, 2, True, Recompute.NONE, fuse=False)
+        loss = m(token_tensor(ids, world=2), token_tensor(tgt, world=2))
+        assert loss.item() == pytest.approx(loss_s, abs=1e-9)
+
+    def test_logits_match_serial(self, serial):
+        model_s, ids, _, _ = serial
+        m = build_parallel(model_s, 2, True, Recompute.NONE)
+        x = m.hidden_states(token_tensor(ids, world=2))
+        logits_p = m.head.logits(x)
+        # vocab-sharded: concatenate along the last axis
+        full_p = np.concatenate([np.asarray(s) for s in logits_p.shards], axis=-1)
+        logits_s = np.asarray(model_s.logits(token_tensor(ids)).shards[0])
+        np.testing.assert_allclose(full_p, logits_s, atol=1e-8)
+
+    def test_partial_full_recompute_layers(self, serial):
+        model_s, ids, tgt, loss_s = serial
+        m = ParallelGPTModel(TINY, tensor_parallel=2, sequence_parallel=True,
+                             recompute=Recompute.FULL, recompute_num_layers=1,
+                             mask_source=MS, serial=model_s)
+        assert m.layers[0].recompute == Recompute.FULL
+        assert m.layers[1].recompute == Recompute.NONE
+        loss = m(token_tensor(ids, world=2), token_tensor(tgt, world=2))
+        assert loss.item() == pytest.approx(loss_s, abs=1e-9)
+
+    def test_finish_grad_sync_noop_without_sp(self, serial):
+        model_s, ids, tgt, _ = serial
+        m = build_parallel(model_s, 2, False, Recompute.NONE)
+        loss = m(token_tensor(ids, world=2), token_tensor(tgt, world=2))
+        loss.backward()
+        before = np.asarray(m.layers[0].ln1.gamma.grad[0]).copy()
+        m.finish_grad_sync()
+        np.testing.assert_array_equal(before, np.asarray(m.layers[0].ln1.gamma.grad[0]))
+
+    def test_config_validation(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            ParallelGPTModel(TINY, tensor_parallel=3, abstract=True)  # 64 % 3 != 0
+        odd_seq = ModelConfig(num_layers=1, hidden_size=32, num_heads=4,
+                              seq_length=15, vocab_size=64)
+        with pytest.raises(ConfigError):
+            ParallelGPTModel(odd_seq, tensor_parallel=2, sequence_parallel=True,
+                             abstract=True)
+
+    def test_dropout_zero_matches_without_mask_source(self, serial):
+        """Without dropout the mask source is unnecessary for equivalence."""
+        model_s = GPTModel(TINY, seed=4, attention_dropout=0.0, hidden_dropout=0.0)
+        ids = random_tokens(rng, TINY.vocab_size, TINY.seq_length, 2)
+        tgt = random_tokens(rng, TINY.vocab_size, TINY.seq_length, 2)
+        loss_s = model_s(token_tensor(ids), token_tensor(tgt)).item()
+        m = ParallelGPTModel(TINY, tensor_parallel=4, sequence_parallel=True,
+                             attention_dropout=0.0, hidden_dropout=0.0,
+                             serial=model_s)
+        loss_p = m(token_tensor(ids, world=4), token_tensor(tgt, world=4)).item()
+        assert loss_p == pytest.approx(loss_s, abs=1e-9)

@@ -1,0 +1,114 @@
+"""Pipeline schedules: validity, warmup/in-flight invariants (Appendix B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.pipeline_sim import (
+    Op, OpKind, rank_of_group, schedule_1f1b, schedule_interleaved,
+    validate_schedule,
+)
+
+
+def peak_in_flight(ops, kind_f=OpKind.F):
+    """Max number of forwards without a matching backward at any point."""
+    live = 0
+    peak = 0
+    for op in ops:
+        if op.kind == kind_f:
+            live += 1
+            peak = max(peak, live)
+        else:
+            live -= 1
+    return peak
+
+
+class Test1F1B:
+    @given(st.integers(1, 8), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_valid_for_any_p_n(self, p, n):
+        sched = schedule_1f1b(p, n)
+        validate_schedule(sched, n)
+
+    @given(st.integers(1, 8), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_peak_in_flight_is_min_n_p_minus_stage(self, p, n):
+        """The memory model's in-flight count is exactly what the schedule
+        holds (Section 4.2.3: stage 0 stores p microbatches)."""
+        sched = schedule_1f1b(p, n)
+        for stage, ops in enumerate(sched):
+            assert peak_in_flight(ops) == min(n, p - stage)
+
+    def test_last_stage_strictly_alternates(self):
+        ops = schedule_1f1b(4, 6)[3]
+        kinds = [op.kind for op in ops]
+        assert kinds == [OpKind.F, OpKind.B] * 6
+
+    def test_first_stage_warmup(self):
+        ops = schedule_1f1b(4, 8)[0]
+        assert [op.kind for op in ops[:3]] == [OpKind.F] * 3
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ScheduleError):
+            schedule_1f1b(0, 4)
+        with pytest.raises(ScheduleError):
+            schedule_1f1b(4, 0)
+
+
+class TestInterleaved:
+    @given(st.integers(2, 6), st.integers(1, 4), st.integers(2, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_valid_for_divisible_microbatches(self, p, rounds, m):
+        n = p * rounds
+        sched = schedule_interleaved(p, n, m)
+        validate_schedule(sched, n, m)
+
+    def test_m1_reduces_to_1f1b(self):
+        assert schedule_interleaved(4, 8, 1) == schedule_1f1b(4, 8)
+
+    def test_indivisible_microbatches_rejected(self):
+        with pytest.raises(ScheduleError):
+            schedule_interleaved(4, 6, 2)
+
+    @given(st.integers(2, 6), st.integers(2, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_first_stage_chunk_peak_matches_paper_factor(self, p, m):
+        """Peak chunks in flight on rank 0 = pm + p - 1, giving the
+        L(1 + (p-1)/(pm)) first-stage memory of Section 4.2.3."""
+        n = 4 * p  # plenty of microbatches
+        sched = schedule_interleaved(p, n, m)
+        assert peak_in_flight(sched[0]) == p * m + p - 1
+
+    def test_groups_cover_all_chunks(self):
+        p, n, m = 3, 6, 2
+        sched = schedule_interleaved(p, n, m)
+        for rank, ops in enumerate(sched):
+            groups = {op.group for op in ops}
+            assert groups == {rank, rank + p}
+
+    def test_rank_of_group(self):
+        assert rank_of_group(0, 4) == 0
+        assert rank_of_group(5, 4) == 1
+
+
+class TestValidator:
+    def test_detects_backward_before_forward(self):
+        bad = [[Op(OpKind.B, 0, 0), Op(OpKind.F, 0, 0)]]
+        with pytest.raises(ScheduleError):
+            validate_schedule(bad, 1)
+
+    def test_detects_duplicates(self):
+        bad = [[Op(OpKind.F, 0, 0), Op(OpKind.F, 0, 0), Op(OpKind.B, 0, 0)]]
+        with pytest.raises(ScheduleError):
+            validate_schedule(bad, 1)
+
+    def test_detects_wrong_rank(self):
+        bad = [[Op(OpKind.F, 0, 1), Op(OpKind.B, 0, 1)], []]
+        with pytest.raises(ScheduleError):
+            validate_schedule(bad, 1)
+
+    def test_detects_missing_ops(self):
+        bad = [[Op(OpKind.F, 0, 0), Op(OpKind.B, 0, 0)]]
+        with pytest.raises(ScheduleError):
+            validate_schedule(bad, 2)

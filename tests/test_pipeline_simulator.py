@@ -1,0 +1,123 @@
+"""Event-driven pipeline simulator: makespan, bubble, memory timeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.memory_model import in_flight_microbatches
+from repro.pipeline_sim import (
+    Op, OpKind, PipelineCosts, schedule_1f1b, schedule_interleaved, simulate,
+)
+
+
+def uniform_costs(num_groups, tf=1.0, tb=2.0, p2p=0.0, act=0.0, out=0.0,
+                  dealloc=True):
+    return PipelineCosts(
+        num_groups=num_groups,
+        forward_time=lambda g: tf,
+        backward_time=lambda g: tb,
+        p2p_time=p2p,
+        activation_bytes=lambda g: act,
+        output_tensor_bytes=out,
+        deallocate_output_tensor=dealloc,
+    )
+
+
+class TestMakespan:
+    def test_single_stage_is_serial_sum(self):
+        result = simulate(schedule_1f1b(1, 5), uniform_costs(1))
+        assert result.makespan == pytest.approx(5 * (1.0 + 2.0))
+        assert result.bubble_fraction == pytest.approx(0.0)
+
+    def test_1f1b_bubble_fraction(self):
+        """Ideal 1F1B: makespan = (n + p - 1) * (tf + tb); the busiest-rank
+        bubble is (p-1)/(n+p-1)."""
+        p, n = 4, 8
+        result = simulate(schedule_1f1b(p, n), uniform_costs(p))
+        assert result.makespan == pytest.approx((n + p - 1) * 3.0)
+        assert result.bubble_fraction_of(0) == pytest.approx((p - 1) / (n + p - 1))
+
+    def test_interleaving_shrinks_bubble(self):
+        p, n = 4, 8
+        plain = simulate(schedule_1f1b(p, n), uniform_costs(p))
+        inter = simulate(schedule_interleaved(p, n, 2),
+                         uniform_costs(2 * p, tf=0.5, tb=1.0))
+        # Same total work per rank, smaller makespan.
+        assert inter.makespan < plain.makespan
+
+    def test_interleaved_bubble_matches_theory(self):
+        """Interleaved bubble time = (p-1)(tf+tb)/m."""
+        p, n, m = 4, 16, 2
+        inter = simulate(schedule_interleaved(p, n, m),
+                         uniform_costs(m * p, tf=1.0 / m, tb=2.0 / m))
+        ideal = n * 3.0
+        bubble_time = inter.makespan - ideal
+        assert bubble_time == pytest.approx((p - 1) * 3.0 / m, rel=0.05)
+
+    def test_p2p_adds_to_critical_path(self):
+        p, n = 4, 4
+        without = simulate(schedule_1f1b(p, n), uniform_costs(p))
+        with_p2p = simulate(schedule_1f1b(p, n), uniform_costs(p, p2p=0.5))
+        assert with_p2p.makespan > without.makespan
+
+    def test_busy_time_is_total_work(self):
+        p, n = 3, 6
+        result = simulate(schedule_1f1b(p, n), uniform_costs(p))
+        for busy in result.busy_time:
+            assert busy == pytest.approx(n * 3.0)
+
+    @given(st.integers(1, 6), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_no_deadlock_and_lower_bound(self, p, n):
+        result = simulate(schedule_1f1b(p, n), uniform_costs(p))
+        assert result.makespan >= n * 3.0  # cannot beat one rank's work
+
+    def test_deadlock_detection(self):
+        # B before its F on the only rank is an impossible program.
+        bad = [[Op(OpKind.B, 0, 0), Op(OpKind.F, 0, 0)]]
+        with pytest.raises(ScheduleError):
+            simulate(bad, uniform_costs(1))
+
+
+class TestMemoryTimeline:
+    def test_peak_matches_in_flight_formula(self):
+        p, n, act = 4, 8, 100.0
+        result = simulate(schedule_1f1b(p, n), uniform_costs(p, act=act))
+        for stage in range(p):
+            expected = in_flight_microbatches(stage, p, n) * act
+            assert result.peak_activation_bytes[stage] == pytest.approx(expected)
+
+    def test_interleaved_peak_matches_formula(self):
+        p, n, m, act = 4, 8, 2, 100.0
+        result = simulate(schedule_interleaved(p, n, m),
+                          uniform_costs(p * m, act=act))
+        for stage in range(p):
+            chunks = in_flight_microbatches(stage, p, n, m) * m
+            assert result.peak_activation_bytes[stage] == pytest.approx(chunks * act)
+
+    def test_output_tensor_dealloc_saving(self):
+        """Appendix B in simulation: the unoptimized run pins one output
+        tensor per in-flight microbatch."""
+        p, n = 4, 8
+        base = simulate(schedule_1f1b(p, n),
+                        uniform_costs(p, act=100.0, out=7.0, dealloc=True))
+        unopt = simulate(schedule_1f1b(p, n),
+                         uniform_costs(p, act=100.0, out=7.0, dealloc=False))
+        for stage in range(p):
+            r = min(n, p - stage)
+            saving = (unopt.peak_activation_bytes[stage]
+                      - base.peak_activation_bytes[stage])
+            assert saving == pytest.approx(r * 7.0)
+
+    def test_memory_returns_to_zero(self):
+        # After all backwards the live bytes are zero; peak is positive.
+        p, n = 3, 5
+        result = simulate(schedule_1f1b(p, n), uniform_costs(p, act=10.0))
+        assert all(peak > 0 for peak in result.peak_activation_bytes)
+
+    def test_first_stage_holds_most(self):
+        p, n = 6, 12
+        result = simulate(schedule_1f1b(p, n), uniform_costs(p, act=1.0))
+        peaks = result.peak_activation_bytes
+        assert peaks == sorted(peaks, reverse=True)

@@ -1,0 +1,263 @@
+"""Training substrate: Adam, loss scaler, data generators, end-to-end fits."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.errors import ConfigError
+from repro.layers import GPTModel, token_tensor
+from repro.parallel import ParallelGPTModel
+from repro.tensor import from_numpy, parameter
+from repro.tensor import functions as F
+from repro.training import (
+    Adam, LossScaler, MarkovTokens, Trainer, UniformTokens, split_microbatches,
+)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        target = np.array([3.0, -2.0, 0.5])
+        w = parameter([np.zeros(3)])
+        opt = Adam([w], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            diff = F.add(w, from_numpy(-target))
+            loss = F.sum_all(F.mul(diff, diff))
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(np.asarray(w.shards[0]), target, atol=1e-2)
+
+    def test_sharded_params_updated_per_rank(self):
+        w = parameter([np.ones(2), 2 * np.ones(2)], layout="shard(dim=0)")
+        w.grad = [np.ones(2), -np.ones(2)]
+        opt = Adam([w], lr=0.1)
+        opt.step()
+        assert np.asarray(w.shards[0])[0] < 1.0   # moved against +grad
+        assert np.asarray(w.shards[1])[0] > 2.0   # moved against -grad
+
+    def test_weight_decay_shrinks_weights(self):
+        w = parameter([np.full(4, 10.0)])
+        w.grad = [np.zeros(4)]
+        opt = Adam([w], lr=0.1, weight_decay=0.1)
+        opt.step()
+        assert np.all(np.asarray(w.shards[0]) < 10.0)
+
+    def test_grad_clip(self):
+        w = parameter([np.zeros(3)])
+        w.grad = [np.full(3, 1e6)]
+        opt = Adam([w], lr=0.1, grad_clip=1.0)
+        assert opt.global_grad_norm() > 1.0
+        opt.step()  # clipped: first Adam step magnitude stays ~lr
+        assert np.all(np.abs(np.asarray(w.shards[0])) < 0.2)
+
+    def test_skips_params_without_grads(self):
+        w = parameter([np.ones(3)])
+        Adam([w]).step()
+        np.testing.assert_array_equal(np.asarray(w.shards[0]), np.ones(3))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Adam([], lr=0.1)
+        with pytest.raises(ConfigError):
+            Adam([parameter([np.ones(1)])], lr=0.0)
+
+
+class TestLossScaler:
+    def test_scale_cancels_numerically(self):
+        w = parameter([np.ones(3)])
+        scaler = LossScaler(scale=1024.0)
+        x = from_numpy(np.ones((2, 3)))
+        loss = scaler.scale_loss(F.sum_all(F.matmul(x, parameter([np.eye(3)]))))
+        # Simpler: scale then unscale grads on a fresh graph
+        w2 = parameter([np.eye(3)])
+        l2 = scaler.scale_loss(F.sum_all(F.matmul(x, w2)))
+        l2.backward()
+        scaler.unscale_grads([w2])
+        np.testing.assert_allclose(np.asarray(w2.grad[0]),
+                                   np.ones((3, 3)) * 2, atol=1e-9)
+
+    def test_backoff_on_overflow(self):
+        scaler = LossScaler(scale=1024.0)
+        scaler.update(found_overflow=True)
+        assert scaler.scale == 512.0
+
+    def test_growth_after_interval(self):
+        scaler = LossScaler(scale=2.0, growth_interval=3)
+        for _ in range(3):
+            scaler.update(found_overflow=False)
+        assert scaler.scale == 4.0
+
+    def test_scale_floor(self):
+        scaler = LossScaler(scale=1.0)
+        scaler.update(found_overflow=True)
+        assert scaler.scale == 1.0
+
+
+class TestData:
+    def test_uniform_shapes_and_shift(self):
+        data = UniformTokens(vocab_size=16, seq_length=8, seed=0)
+        ids, targets = data.batch(3)
+        assert ids.shape == targets.shape == (8, 3)
+        # targets are ids shifted by one position
+        np.testing.assert_array_equal(ids[1:], targets[:-1])
+
+    def test_markov_entropy_below_uniform(self):
+        data = MarkovTokens(vocab_size=16, seq_length=8, seed=0)
+        assert data.entropy_rate() < np.log(16) * 0.8
+
+    def test_markov_transitions_are_distributions(self):
+        data = MarkovTokens(vocab_size=8, seq_length=4, seed=1)
+        np.testing.assert_allclose(data.transitions.sum(axis=1), 1.0)
+
+    def test_batches_iterator(self):
+        data = UniformTokens(vocab_size=16, seq_length=4, seed=0)
+        it = data.batches(2)
+        a, _ = next(it)
+        b, _ = next(it)
+        assert not np.array_equal(a, b)
+
+    def test_vocab_validation(self):
+        with pytest.raises(ConfigError):
+            UniformTokens(vocab_size=1, seq_length=4)
+
+
+class TestTrainerHelpers:
+    def test_split_microbatches(self):
+        ids = np.arange(24).reshape(4, 6)
+        parts = split_microbatches(ids, ids, 3)
+        assert len(parts) == 3
+        assert parts[0][0].shape == (4, 2)
+
+    def test_split_indivisible_rejected(self):
+        ids = np.zeros((4, 5))
+        with pytest.raises(ConfigError):
+            split_microbatches(ids, ids, 2)
+
+
+class TestEndToEndTraining:
+    CFG = ModelConfig(num_layers=2, hidden_size=32, num_heads=4,
+                      seq_length=32, vocab_size=16)
+
+    def test_serial_model_learns_markov_stream(self):
+        model = GPTModel(self.CFG, seed=0, attention_dropout=0.0, hidden_dropout=0.0)
+        trainer = Trainer(model, Adam(model.parameters(), lr=3e-3))
+        data = MarkovTokens(16, 32, seed=1)
+        first = last = None
+        for step in range(25):
+            ids, tgt = data.batch(8)
+            loss = trainer.train_step(ids, tgt)
+            first = loss if first is None else first
+            last = loss
+        assert last < first - 0.3
+        assert last > data.entropy_rate() * 0.8  # can't beat the floor
+
+    def test_parallel_model_trains_identically_to_serial(self):
+        serial = GPTModel(self.CFG, seed=0, attention_dropout=0.0, hidden_dropout=0.0)
+        parallel = ParallelGPTModel(self.CFG, tensor_parallel=2,
+                                    sequence_parallel=True,
+                                    attention_dropout=0.0, hidden_dropout=0.0,
+                                    serial=serial)
+        t_serial = Trainer(serial, Adam(serial.parameters(), lr=1e-3))
+        t_parallel = Trainer(parallel, Adam(parallel.parameters(), lr=1e-3))
+        data = MarkovTokens(16, 32, seed=2)
+        for _ in range(3):
+            ids, tgt = data.batch(4)
+            l_s = t_serial.train_step(ids, tgt, num_microbatches=2)
+            l_p = t_parallel.train_step(ids, tgt, num_microbatches=2)
+            assert l_p == pytest.approx(l_s, abs=1e-8)
+
+    def test_grad_accumulation_equals_big_batch(self):
+        model = GPTModel(self.CFG, seed=3, attention_dropout=0.0,
+                         hidden_dropout=0.0)
+        data = MarkovTokens(16, 32, seed=4)
+        ids, tgt = data.batch(4)
+        model.zero_grad()
+        loss = model(token_tensor(ids), token_tensor(tgt))
+        loss.backward()
+        big = np.asarray(model.layers[0].mlp.fc1.weight.grad[0]).copy()
+        model.zero_grad()
+        for mb_ids, mb_tgt in split_microbatches(ids, tgt, 2):
+            l = model(token_tensor(mb_ids), token_tensor(mb_tgt))
+            l.backward([np.asarray(0.5)])
+        accum = np.asarray(model.layers[0].mlp.fc1.weight.grad[0])
+        np.testing.assert_allclose(accum, big, atol=1e-9)
+
+
+class TestFp16GradientFlush:
+    """Loss scaling with real fp16 rounding: the reason the recipe exists."""
+
+    TINY = 1e-8  # below fp16's smallest subnormal (~6e-8)
+
+    def _grad_through_fp16(self, scale):
+        from repro.training import LossScaler, flush_grads_through_fp16
+        from repro.tensor import functions as F
+        scaler = LossScaler(scale=scale)
+        x = from_numpy(np.full((1, 4), self.TINY))  # tiny grads for w
+        w = parameter([np.eye(4)])
+        loss = scaler.scale_loss(F.sum_all(F.matmul(x, w)))
+        loss.backward()
+        overflow = flush_grads_through_fp16([w])
+        scaler.unscale_grads([w])
+        return np.asarray(w.grad[0]), overflow
+
+    def test_tiny_grads_underflow_without_scaling(self):
+        grad, overflow = self._grad_through_fp16(scale=1.0)
+        assert not overflow
+        assert np.all(grad == 0.0)  # 1e-8 flushes to zero in fp16
+
+    def test_loss_scaling_rescues_tiny_grads(self):
+        grad, overflow = self._grad_through_fp16(scale=2.0**14)
+        assert not overflow
+        assert np.all(grad > 0.0)
+        np.testing.assert_allclose(grad, self.TINY, rtol=2e-3)
+
+    def test_excessive_scale_overflows_and_scaler_backs_off(self):
+        from repro.training import LossScaler, flush_grads_through_fp16
+        from repro.tensor import functions as F
+        w = parameter([np.eye(4)])
+        x = from_numpy(np.full((1, 4), 1e3))
+        scaler = LossScaler(scale=2.0**40)
+        loss = scaler.scale_loss(F.sum_all(F.matmul(x, w)))
+        loss.backward()
+        overflow = flush_grads_through_fp16([w])
+        assert overflow
+        scaler.update(found_overflow=True)
+        assert scaler.scale == 2.0**39  # backed off; step would be skipped
+
+
+class TestPackedDocuments:
+    def test_shapes_and_mask_semantics(self):
+        from repro.training.data import PackedDocuments
+        data = PackedDocuments(vocab_size=16, seq_length=24, seed=0)
+        ids, targets, mask = data.batch(4)
+        assert ids.shape == targets.shape == mask.shape == (24, 4)
+        assert set(np.unique(mask)) <= {0.0, 1.0}
+        assert 0 < mask.mean() <= 1.0
+        # padding targets are masked out
+        assert np.all(mask[targets == data.pad] <= 1.0)
+
+    def test_contains_eos_separators(self):
+        from repro.training.data import PackedDocuments
+        data = PackedDocuments(vocab_size=16, seq_length=32, seed=1)
+        ids, _, _ = data.batch(4)
+        assert (ids == data.eos).sum() > 0
+
+    def test_masked_training_runs(self):
+        from repro.training.data import PackedDocuments
+        from repro.tensor import FP32, Tensor
+        cfg = ModelConfig(num_layers=1, hidden_size=16, num_heads=2,
+                          seq_length=16, vocab_size=16)
+        model = GPTModel(cfg, seed=0, attention_dropout=0.0, hidden_dropout=0.0)
+        opt = Adam(model.parameters(), lr=1e-3)
+        data = PackedDocuments(16, 16, seed=2)
+        ids, targets, mask = data.batch(4)
+        mask_t = Tensor([mask], dtype=FP32)
+        loss = model(token_tensor(ids), token_tensor(targets), loss_mask=mask_t)
+        loss.backward()
+        opt.step()
+        assert np.isfinite(loss.item())
+
+    def test_vocab_validation(self):
+        from repro.training.data import PackedDocuments
+        with pytest.raises(ConfigError):
+            PackedDocuments(vocab_size=2, seq_length=8)
