@@ -1,13 +1,23 @@
 # Convenience targets for the reproduction.
 PY ?= python
 
-.PHONY: test bench report examples all clean
+.PHONY: test bench chaos report examples all clean
 
 test:
 	$(PY) -m pytest tests/
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Fault-injection suite plus seeded chaos campaigns with end-to-end
+# bitwise verification of recovery (see docs/resilience.md).
+chaos:
+	$(PY) -m pytest tests/test_resilience.py
+	@for seed in 11 23 47; do \
+		echo "== chaos seed $$seed"; \
+		$(PY) -m repro chaos --steps 6 --seed $$seed --verify > /dev/null || exit 1; \
+	done
+	@echo "all chaos campaigns recovered bitwise-identical"
 
 report:
 	$(PY) -m repro report --output report.md

@@ -26,7 +26,21 @@ from .config import (
     ExperimentConfig,
     ModelConfig,
     ParallelConfig,
+    ResilienceConfig,
     TrainingConfig,
+)
+from .errors import (
+    AutogradError,
+    CheckpointCorruptError,
+    CollectiveTimeout,
+    CommError,
+    ConfigError,
+    CorruptionDetected,
+    PlanningError,
+    RankFailure,
+    ReproError,
+    ScheduleError,
+    ShapeError,
 )
 from .hardware import ClusterSpec, GPUSpec, LinkSpec, NodeSpec, selene_like
 
@@ -34,6 +48,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "PAPER_CONFIGS", "PAPER_CONFIG_NAMES", "ExperimentConfig", "ModelConfig",
-    "ParallelConfig", "TrainingConfig", "ClusterSpec", "GPUSpec", "LinkSpec",
-    "NodeSpec", "selene_like", "__version__",
+    "ParallelConfig", "ResilienceConfig", "TrainingConfig", "ClusterSpec",
+    "GPUSpec", "LinkSpec", "NodeSpec", "selene_like",
+    "ReproError", "AutogradError", "CheckpointCorruptError",
+    "CollectiveTimeout", "CommError", "ConfigError", "CorruptionDetected",
+    "PlanningError", "RankFailure", "ScheduleError", "ShapeError",
+    "__version__",
 ]

@@ -174,6 +174,71 @@ def cmd_sweep(args) -> str:
     return header + "\n" + sweeps.to_csv(rows)
 
 
+def cmd_chaos(args) -> str:
+    """Run a tiny training job under a seeded random fault plan and show
+    the resilience report; with ``--verify``, also run fault-free at the
+    same seed and check the final weights are bitwise identical."""
+    import json
+    import os
+    import tempfile
+
+    import numpy as np
+
+    from .config import ModelConfig
+    from .parallel.transformer import ParallelGPTModel
+    from .resilience import (
+        FaultPlan,
+        RecoveryPolicy,
+        ResilientTrainer,
+        make_step_batches,
+    )
+    from .training import DataParallelTrainer
+
+    model_cfg = ModelConfig(num_layers=2, hidden_size=16, num_heads=2,
+                            seq_length=16, vocab_size=32, name="chaos-tiny")
+
+    def factory():
+        return ParallelGPTModel(model_cfg, tensor_parallel=2,
+                                attention_dropout=0.0, hidden_dropout=0.0)
+
+    batch_fn = make_step_batches(model_cfg.vocab_size, model_cfg.seq_length,
+                                 batch_size=2 * args.dp, seed=args.seed)
+    plan_ = FaultPlan.random(seed=args.seed, num_steps=args.steps,
+                             fault_rate=args.fault_rate, world_size=args.dp)
+    policy = RecoveryPolicy(checkpoint_interval=args.checkpoint_interval)
+
+    def run(fault_plan):
+        trainer = DataParallelTrainer(factory, data_parallel=args.dp, lr=1e-2)
+        fd, path = tempfile.mkstemp(suffix=".npz")
+        os.close(fd)
+        try:
+            result = ResilientTrainer(trainer, batch_fn, path,
+                                      plan=fault_plan,
+                                      policy=policy).run(args.steps)
+        finally:
+            os.remove(path)
+        return trainer, result
+
+    trainer, result = run(plan_)
+    if args.json:
+        return json.dumps(result.report.to_json(), indent=2)
+    text = (f"chaos run: seed {args.seed}, {args.steps} steps, dp={args.dp}, "
+            f"fault rate {args.fault_rate}, {len(plan_)} fault(s) planned\n")
+    text += result.report.summary()
+    if args.verify:
+        clean_trainer, clean = run(FaultPlan())
+        identical = clean.losses == result.losses and all(
+            np.array_equal(np.asarray(p.shards[r]), np.asarray(q.shards[r]))
+            for p, q in zip(clean_trainer.model.parameters(),
+                            trainer.model.parameters())
+            for r in range(p.world))
+        if not identical:
+            raise SystemExit(
+                "VERIFY FAILED: faulty run does not match the fault-free run")
+        text += "\nverify: recovered weights bitwise-identical to fault-free run"
+    return text
+
+
 def cmd_report(args) -> str:
     from .reporting.report import full_report
     text = full_report()
@@ -239,6 +304,19 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[1024, 2048, 4096, 8192, 16384])
     p.add_argument("--memory-gb", type=float, default=80.0)
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("chaos", help="fault-injection run with recovery report")
+    p.add_argument("--steps", type=int, default=6)
+    p.add_argument("--dp", type=int, default=2, help="data-parallel replicas")
+    p.add_argument("--fault-rate", type=float, default=0.5,
+                   help="per-step fault probability")
+    p.add_argument("--seed", type=int, default=0, help="fault-plan + data seed")
+    p.add_argument("--checkpoint-interval", type=int, default=2)
+    p.add_argument("--json", action="store_true",
+                   help="emit the resilience report as JSON")
+    p.add_argument("--verify", action="store_true",
+                   help="also run fault-free and require bitwise-equal weights")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("report", help="regenerate every table/figure in one document")
     p.add_argument("--output", default=None, help="write to a file instead of stdout")

@@ -1,10 +1,13 @@
 """Simulated NCCL-style communication: groups, collectives, cost model."""
 
 from .collectives import (
+    active_fault_injector,
     all_gather,
     all_reduce,
     broadcast,
+    fault_scope,
     gather_concat,
+    install_fault_injector,
     reduce_scatter,
     scatter,
 )
@@ -12,6 +15,7 @@ from .cost_model import CollectiveCostModel
 from .process_group import ProcessGroup
 
 __all__ = [
-    "CollectiveCostModel", "ProcessGroup", "all_gather", "all_reduce",
-    "broadcast", "gather_concat", "reduce_scatter", "scatter",
+    "CollectiveCostModel", "ProcessGroup", "active_fault_injector",
+    "all_gather", "all_reduce", "broadcast", "fault_scope", "gather_concat",
+    "install_fault_injector", "reduce_scatter", "scatter",
 ]

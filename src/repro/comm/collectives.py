@@ -21,11 +21,52 @@ Conventions (matching NCCL):
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from contextlib import contextmanager
+from typing import Iterator, List, Sequence
 
 from ..errors import CommError
 from ..tensor import backend as bk
 from ..tensor.backend import ArrayLike
+
+#: The installed fault injector (see :mod:`repro.resilience`).  ``None``
+#: on the clean path, where collectives pay only this one identity check.
+_INJECTOR = None
+
+
+def install_fault_injector(injector) -> None:
+    """Install (or with ``None``, remove) the process-wide fault injector.
+
+    Every simulated collective consults the injector, which may delay it
+    (straggler), corrupt its payload (bit flip) or abort it with a typed
+    :class:`~repro.errors.CommError` subclass (crash, timeout).  Prefer
+    the :func:`fault_scope` context manager, which restores the previous
+    injector on exit.
+    """
+    global _INJECTOR
+    _INJECTOR = injector
+
+
+def active_fault_injector():
+    """The currently installed injector, or ``None`` on the clean path."""
+    return _INJECTOR
+
+
+@contextmanager
+def fault_scope(injector) -> Iterator[None]:
+    """Install ``injector`` for the duration of a ``with`` block."""
+    previous = _INJECTOR
+    install_fault_injector(injector)
+    try:
+        yield
+    finally:
+        install_fault_injector(previous)
+
+
+def _inject(op: str, shards: Sequence[ArrayLike]) -> Sequence[ArrayLike]:
+    """Give the injector a chance to observe/fault this collective."""
+    if _INJECTOR is None:
+        return shards
+    return _INJECTOR.on_collective(op, shards)
 
 
 def _check(shards: Sequence[ArrayLike]) -> None:
@@ -42,6 +83,7 @@ def _check(shards: Sequence[ArrayLike]) -> None:
 def all_reduce(shards: Sequence[ArrayLike]) -> List[ArrayLike]:
     """Sum across ranks; every rank receives the (shared) result."""
     _check(shards)
+    shards = _inject("all_reduce", shards)
     total = shards[0]
     for s in shards[1:]:
         total = total + s
@@ -53,6 +95,7 @@ def all_reduce(shards: Sequence[ArrayLike]) -> List[ArrayLike]:
 def all_gather(shards: Sequence[ArrayLike], axis: int = 0) -> List[ArrayLike]:
     """Concatenate all shards along ``axis``; every rank gets the full array."""
     _check(shards)
+    shards = _inject("all_gather", shards)
     full = bk.concatenate(list(shards), axis)
     return [full] * len(shards)
 
@@ -60,6 +103,7 @@ def all_gather(shards: Sequence[ArrayLike], axis: int = 0) -> List[ArrayLike]:
 def reduce_scatter(shards: Sequence[ArrayLike], axis: int = 0) -> List[ArrayLike]:
     """Sum across ranks, then rank ``i`` keeps slice ``i`` along ``axis``."""
     _check(shards)
+    shards = _inject("reduce_scatter", shards)
     total = shards[0]
     for s in shards[1:]:
         total = total + s
@@ -79,4 +123,5 @@ def gather_concat(shards: Sequence[ArrayLike], axis: int = 0) -> ArrayLike:
 
 def broadcast(value: ArrayLike, world: int) -> List[ArrayLike]:
     """Every rank receives the same array."""
+    value = _inject("broadcast", [value])[0]
     return [value] * world

@@ -51,11 +51,19 @@ class CollectiveCostModel:
             return node.intra_node_link
         return self.cluster.inter_node_link
 
-    def time(self, info: CommInfo) -> float:
-        """Seconds for one collective described by ``info``."""
+    def time(self, info: CommInfo, slowdown: float = 1.0) -> float:
+        """Seconds for one collective described by ``info``.
+
+        ``slowdown`` models a straggler: a ring collective moves at the
+        pace of its slowest participant, so one rank running ``k`` times
+        slower multiplies the whole transfer (latency steps and volume)
+        by ``k``.  The fixed per-call cost is local and unaffected.
+        """
         n = info.group_size
         if n < 1:
             raise CommError(f"bad group size {n}")
+        if slowdown < 1.0:
+            raise CommError(f"straggler slowdown must be >= 1, got {slowdown}")
         if n == 1:
             return 0.0
         link = self.link_for(info)
@@ -70,7 +78,8 @@ class CollectiveCostModel:
             steps, volume = 1, s
         else:
             raise CommError(f"unknown collective op {info.op!r}")
-        return self.call_overhead + steps * link.latency + volume / link.bandwidth
+        return (self.call_overhead
+                + slowdown * (steps * link.latency + volume / link.bandwidth))
 
     def all_reduce_time(self, nbytes: int, group_size: int, scope: str = "tp") -> float:
         return self.time(CommInfo("all_reduce", nbytes, group_size, scope))

@@ -38,3 +38,15 @@ class ProcessGroup:
             raise CommError(
                 f"tensor has {world} shards but group {self.scope} has size {self.size}"
             )
+
+    def shrink(self, by: int = 1) -> "ProcessGroup":
+        """The group that survives losing ``by`` ranks permanently.
+
+        Elastic recovery (see :mod:`repro.resilience`) reforms the
+        communicator around the survivors; the new group keeps the scope
+        (and hence the physical link the cost model assigns).
+        """
+        if by < 0 or by >= self.size:
+            raise CommError(
+                f"cannot shrink a group of {self.size} by {by} ranks")
+        return ProcessGroup(self.size - by, self.scope)

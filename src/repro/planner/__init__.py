@@ -1,5 +1,5 @@
 """Memory-budget-driven recomputation planning (paper Section 5)."""
 
-from .planner import PlanOption, enumerate_options, plan
+from .planner import PlanOption, enumerate_options, plan, replan_after_shrink
 
-__all__ = ["PlanOption", "enumerate_options", "plan"]
+__all__ = ["PlanOption", "enumerate_options", "plan", "replan_after_shrink"]

@@ -170,3 +170,25 @@ def plan(config: ExperimentConfig,
         f"against a capacity of {capacity/2**30:.1f} GiB — increase model "
         f"parallelism"
     )
+
+
+def replan_after_shrink(config: ExperimentConfig,
+                        surviving_data_parallel: int,
+                        device_memory_bytes: float = 80 * 1024**3,
+                        reserve_bytes: float = 4 * 1024**3,
+                        cost: Optional[KernelCostModel] = None) -> PlanOption:
+    """Re-fit the recomputation plan after an elastic data-parallel shrink.
+
+    When a permanently failed rank is removed, each surviving replica
+    must absorb the dead replica's share of the global batch (more
+    microbatches in flight, and under pipelining potentially a deeper
+    activation working set), so the strategy chosen for the original
+    group may no longer be the right one.  This re-runs the Section 5
+    ladder against the surviving configuration's memory budget and
+    returns the new cheapest-overhead plan.
+    """
+    if surviving_data_parallel < 1:
+        raise PlanningError("cannot replan for an empty data-parallel group")
+    shrunk = config.with_(data_parallel=surviving_data_parallel)
+    return plan(shrunk, device_memory_bytes=device_memory_bytes,
+                reserve_bytes=reserve_bytes, cost=cost)

@@ -1,0 +1,136 @@
+"""Deterministic fault model for the simulated training cluster.
+
+A :class:`FaultPlan` is a fixed, seeded schedule of :class:`FaultSpec`
+events: "at training step 3, on the 2nd collective call, rank 1 crashes".
+Because the plan is data — not live randomness — a faulty run is exactly
+reproducible, and the recovery machinery can be held to the repository's
+determinism standard: a run interrupted by any plan must finish with
+weights bitwise-identical to the uninterrupted run at the same seed.
+
+Fault kinds (the failure modes routine on a 2000+-GPU cluster like the
+paper's Selene runs):
+
+* ``RANK_CRASH`` — a rank disappears mid-collective (process exit, ECC
+  error, node loss).  ``permanent=True`` means the node does not come
+  back and the data-parallel group must shrink around it.
+* ``STRAGGLER`` — one rank runs ``slowdown``× slower; ring collectives
+  move at the slowest participant's pace
+  (:meth:`~repro.comm.cost_model.CollectiveCostModel.time`).
+* ``DROPPED_COLLECTIVE`` — a message is lost; the collective hangs until
+  the watchdog timeout fires.
+* ``BIT_FLIP`` — one bit of a payload flips in flight; the receiver-side
+  checksum detects the mismatch on completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class FaultKind(str, Enum):
+    RANK_CRASH = "rank_crash"
+    STRAGGLER = "straggler"
+    DROPPED_COLLECTIVE = "dropped_collective"
+    BIT_FLIP = "bit_flip"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``call_index`` counts collective calls within the step: the fault
+    fires on the first eligible collective at or after that index, which
+    pins it deterministically inside forward, backward, or the gradient
+    all-reduce.  ``rank`` is the data-parallel replica for crashes and
+    the shard index for stragglers / bit flips.
+    """
+
+    step: int
+    kind: FaultKind
+    rank: int = 0
+    call_index: int = 0
+    slowdown: float = 8.0          # STRAGGLER only: multiplicative delay
+    permanent: bool = False        # RANK_CRASH only: node never returns
+
+    def __post_init__(self) -> None:
+        if self.step < 0 or self.rank < 0 or self.call_index < 0:
+            raise ConfigError("fault step/rank/call_index must be >= 0")
+        if self.kind == FaultKind.STRAGGLER and self.slowdown < 1.0:
+            raise ConfigError(f"straggler slowdown must be >= 1, got {self.slowdown}")
+
+
+class FaultPlan:
+    """An ordered, immutable schedule of faults to inject.
+
+    Build one explicitly from :class:`FaultSpec` entries, randomly (but
+    deterministically) with :meth:`random`, or from a
+    :class:`~repro.config.ResilienceConfig` with :meth:`from_config`.
+    An empty plan is the clean path: zero faults ever fire.
+    """
+
+    def __init__(self, faults: Iterable[FaultSpec] = ()):
+        self.faults: Tuple[FaultSpec, ...] = tuple(
+            sorted(faults, key=lambda f: (f.step, f.call_index)))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.faults
+
+    def for_step(self, step: int) -> List[FaultSpec]:
+        return [f for f in self.faults if f.step == step]
+
+    @classmethod
+    def random(cls, seed: int, num_steps: int, fault_rate: float,
+               world_size: int = 2,
+               kinds: Optional[Sequence[FaultKind]] = None,
+               permanent_crash_fraction: float = 0.0,
+               max_call_index: int = 6) -> "FaultPlan":
+        """A seeded random plan: each step injects one fault with
+        probability ``fault_rate``.  Straggler slowdowns are drawn above
+        the default detection threshold so every injected fault is
+        detectable; ``permanent_crash_fraction`` of crashes are node
+        losses (only meaningful with ``world_size > 1``)."""
+        if not (0.0 <= fault_rate <= 1.0):
+            raise ConfigError(f"fault_rate must be in [0, 1], got {fault_rate}")
+        if world_size < 1:
+            raise ConfigError("world_size must be >= 1")
+        kinds = tuple(kinds) if kinds else (
+            FaultKind.RANK_CRASH, FaultKind.STRAGGLER,
+            FaultKind.DROPPED_COLLECTIVE, FaultKind.BIT_FLIP)
+        rng = np.random.default_rng(seed)
+        faults: List[FaultSpec] = []
+        for step in range(num_steps):
+            if rng.random() >= fault_rate:
+                continue
+            kind = kinds[int(rng.integers(len(kinds)))]
+            permanent = (kind == FaultKind.RANK_CRASH and world_size > 1
+                         and rng.random() < permanent_crash_fraction)
+            faults.append(FaultSpec(
+                step=step, kind=kind,
+                rank=int(rng.integers(world_size)),
+                call_index=int(rng.integers(max_call_index)),
+                slowdown=float(6.0 + 10.0 * rng.random()),
+                permanent=permanent,
+            ))
+        return cls(faults)
+
+    @classmethod
+    def from_config(cls, config, num_steps: int, world_size: int = 2) -> "FaultPlan":
+        """Plan derived from a :class:`~repro.config.ResilienceConfig`."""
+        return cls.random(
+            seed=config.fault_seed, num_steps=num_steps,
+            fault_rate=config.fault_rate, world_size=world_size,
+            permanent_crash_fraction=config.permanent_crash_fraction,
+        )

@@ -5,17 +5,24 @@ from .data_parallel import DataParallelTrainer
 from .lr_scheduler import WarmupDecayLR
 from .optimizer import Adam, LossScaler, flush_grads_through_fp16
 from .serialization import (
+    checkpoint_exists,
     load_training_state,
     load_weights,
     save_training_state,
     save_weights,
 )
-from .trainer import PipelinedGPT, PipelineStepResult, Trainer, split_microbatches
+from .trainer import (
+    PipelinedGPT,
+    PipelineStepResult,
+    Trainer,
+    run_step_with_retries,
+    split_microbatches,
+)
 
 __all__ = [
     "Adam", "DataParallelTrainer", "LossScaler", "MarkovTokens", "WarmupDecayLR",
     "PackedDocuments", "PipelineStepResult", "PipelinedGPT", "Trainer",
-    "UniformTokens",
-    "load_training_state", "load_weights", "save_training_state",
-    "save_weights", "split_microbatches",
+    "UniformTokens", "checkpoint_exists",
+    "load_training_state", "load_weights", "run_step_with_retries",
+    "save_training_state", "save_weights", "split_microbatches",
 ]

@@ -20,13 +20,14 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from ..comm import all_reduce
+from ..comm.collectives import active_fault_injector
 from ..errors import ConfigError
 from ..layers.embedding import token_tensor
 from ..parallel.transformer import ParallelGPTModel
 from ..tensor import ctx
 from ..tensor.oplog import CommInfo, OpKind, OpRecord, Phase
 from .optimizer import Adam
-from .trainer import split_microbatches
+from .trainer import run_step_with_retries, split_microbatches
 
 
 class DataParallelTrainer:
@@ -77,12 +78,19 @@ class DataParallelTrainer:
     def _all_reduce_grads(self) -> None:
         """Average each parameter's gradient across the dp replicas."""
         log = ctx().oplog
+        injector = active_fault_injector()
         param_lists = [r.parameters() for r in self.replicas]
         for group in zip(*param_lists):
             grads = [p.grad for p in group]
             if any(g is None for g in grads):
                 continue
             world = group[0].world
+            if injector is not None:
+                # The dp gradient all-reduce is a fault site too: one
+                # "shard" per replica, checked before any averaging so a
+                # raised fault leaves gradients untouched for the retry.
+                injector.on_collective(
+                    "all_reduce", [np.asarray(g[0]) for g in grads])
             for rank in range(world):
                 total = np.sum([np.asarray(g[rank]) for g in grads], axis=0)
                 total /= self.dp
@@ -103,23 +111,60 @@ class DataParallelTrainer:
         shards = split_microbatches(ids, targets, self.dp)
         total_loss = 0.0
         n_mb = microbatches_per_replica
-        for index, (replica, opt, (r_ids, r_targets)) in enumerate(
-                zip(self.replicas, self.optimizers, shards)):
-            opt.zero_grad()
-            if self.pipes is not None:
-                result = self.pipes[index].train_step(r_ids, r_targets, n_mb)
-                total_loss += result.loss
-                continue
-            for mb_ids, mb_targets in split_microbatches(r_ids, r_targets, n_mb):
-                loss = replica(token_tensor(mb_ids, world=world),
-                               token_tensor(mb_targets, world=world))
-                loss.backward([np.asarray(1.0 / n_mb)] * loss.world)
-                total_loss += loss.item() / n_mb
-            replica.finish_grad_sync()
+        injector = active_fault_injector()
+        try:
+            for index, (replica, opt, (r_ids, r_targets)) in enumerate(
+                    zip(self.replicas, self.optimizers, shards)):
+                if injector is not None:
+                    injector.set_active_rank(index)
+                opt.zero_grad()
+                if self.pipes is not None:
+                    result = self.pipes[index].train_step(r_ids, r_targets, n_mb)
+                    total_loss += result.loss
+                    continue
+                for mb_ids, mb_targets in split_microbatches(r_ids, r_targets, n_mb):
+                    loss = replica(token_tensor(mb_ids, world=world),
+                                   token_tensor(mb_targets, world=world))
+                    loss.backward([np.asarray(1.0 / n_mb)] * loss.world)
+                    total_loss += loss.item() / n_mb
+                replica.finish_grad_sync()
+        finally:
+            if injector is not None:
+                injector.set_active_rank(None)
         self._all_reduce_grads()
         for opt in self.optimizers:
             opt.step()
         return total_loss / self.dp
+
+    def train_step_with_retry(self, ids: np.ndarray, targets: np.ndarray,
+                              microbatches_per_replica: int = 1,
+                              max_retries: int = 3,
+                              backoff_base_s: float = 0.05,
+                              backoff_factor: float = 2.0) -> float:
+        """:meth:`train_step` with in-place retry of transient collective
+        faults (see :func:`repro.training.trainer.run_step_with_retries`)."""
+        return run_step_with_retries(
+            lambda: self.train_step(ids, targets, microbatches_per_replica),
+            max_retries=max_retries, backoff_base_s=backoff_base_s,
+            backoff_factor=backoff_factor)
+
+    def drop_replica(self, index: int) -> None:
+        """Elastically remove one replica (a permanently lost rank).
+
+        The survivors keep their bit-synchronized weights; the caller is
+        responsible for rebalancing microbatches so the global batch is
+        unchanged (gradient averaging over the same global batch is then
+        exact regardless of the group size).
+        """
+        if self.dp <= 1:
+            raise ConfigError("cannot drop the last surviving replica")
+        if not (0 <= index < self.dp):
+            raise ConfigError(f"no replica {index} in a dp={self.dp} group")
+        del self.replicas[index]
+        del self.optimizers[index]
+        if self.pipes is not None:
+            del self.pipes[index]
+        self.dp -= 1
 
     def replicas_synchronized(self, atol: float = 0.0) -> bool:
         """True when every replica holds identical weights (the invariant

@@ -5,20 +5,31 @@ Weights are stored per parameter *shard* (``<name>::<rank>``) in a single
 layout is deliberately simple and dependency-free; it is not a Megatron
 checkpoint format, but `load_weights` verifies names, shapes and shard
 counts so mismatched parallel layouts fail loudly instead of silently.
+
+Every archive carries a content checksum (SHA-256 over sorted entry
+names, dtypes, shapes and raw bytes).  Loading verifies it and raises
+:class:`~repro.errors.CheckpointCorruptError` on any mismatch — a
+corrupted checkpoint must never be silently restored, because the
+resilience layer's rollback-and-replay guarantee depends on the restored
+state being exactly what was saved.  Archives written before checksums
+existed (no ``__checksum__`` entry) still load.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import zipfile
 from typing import Dict
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import CheckpointCorruptError, ConfigError
 from ..layers.module import Module
 from .optimizer import Adam
 
 _SEP = "::"
+_CHECKSUM_KEY = "__checksum__"
 
 
 def _named_shards(model: Module) -> Dict[str, np.ndarray]:
@@ -31,15 +42,48 @@ def _named_shards(model: Module) -> Dict[str, np.ndarray]:
     return out
 
 
+def _content_digest(payload: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over every entry's name, dtype, shape and bytes, in sorted
+    name order — independent of dict insertion order and zip metadata."""
+    digest = hashlib.sha256()
+    for name in sorted(payload):
+        if name == _CHECKSUM_KEY:
+            continue
+        arr = np.ascontiguousarray(payload[name])
+        digest.update(name.encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def _save(payload: Dict[str, np.ndarray], path: str) -> None:
+    checksum = _content_digest(payload)
+    np.savez(path, **payload,
+             **{_CHECKSUM_KEY: np.frombuffer(checksum.encode(), dtype=np.uint8)})
+
+
+def _verify(archive: "np.lib.npyio.NpzFile", path: str) -> None:
+    if _CHECKSUM_KEY not in archive.files:
+        return  # legacy archive from before checksums; accept
+    stored = bytes(archive[_CHECKSUM_KEY]).decode()
+    actual = _content_digest({n: archive[n] for n in archive.files})
+    if stored != actual:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} failed its content checksum "
+            f"(stored {stored[:12]}…, computed {actual[:12]}…)")
+
+
 def save_weights(model: Module, path: str) -> None:
-    """Write all parameter shards to ``path`` (.npz)."""
-    np.savez(path, **_named_shards(model))
+    """Write all parameter shards to ``path`` (.npz), checksummed."""
+    _save(_named_shards(model), path)
 
 
 def load_weights(model: Module, path: str) -> None:
     """Load shards saved by :func:`save_weights` into ``model`` in place."""
     with np.load(path) as archive:
-        stored = set(archive.files)
+        _verify(archive, path)
+        stored = set(archive.files) - {_CHECKSUM_KEY}
         expected = set(_named_shards(model).keys())
         if stored != expected:
             missing = sorted(expected - stored)[:3]
@@ -59,7 +103,7 @@ def load_weights(model: Module, path: str) -> None:
 
 
 def save_training_state(model: Module, optimizer: Adam, path: str) -> None:
-    """Weights + Adam moments + step count in one archive."""
+    """Weights + Adam moments + step count in one archive, checksummed."""
     payload = _named_shards(model)
     payload["__optimizer_step__"] = np.asarray(optimizer.step_count)
     for name, param in model.named_parameters():
@@ -68,12 +112,17 @@ def save_training_state(model: Module, optimizer: Adam, path: str) -> None:
             for rank in range(param.world):
                 payload[f"__adam_m__{name}{_SEP}{rank}"] = optimizer._m[key][rank]
                 payload[f"__adam_v__{name}{_SEP}{rank}"] = optimizer._v[key][rank]
-    np.savez(path, **payload)
+    _save(payload, path)
 
 
 def load_training_state(model: Module, optimizer: Adam, path: str) -> None:
-    """Restore weights and Adam state saved by :func:`save_training_state`."""
+    """Restore weights and Adam state saved by :func:`save_training_state`.
+
+    Raises :class:`~repro.errors.CheckpointCorruptError` if the archive's
+    content no longer matches its checksum.
+    """
     with np.load(path) as archive:
+        _verify(archive, path)
         for name, param in model.named_parameters():
             for rank in range(param.world):
                 np.copyto(param.shards[rank], archive[f"{name}{_SEP}{rank}"])
@@ -91,5 +140,19 @@ def load_training_state(model: Module, optimizer: Adam, path: str) -> None:
         optimizer.step_count = int(archive["__optimizer_step__"])
 
 
-def checkpoint_exists(path: str) -> bool:
-    return os.path.exists(path)
+def checkpoint_exists(path: str, validate: bool = True) -> bool:
+    """True when ``path`` exists and (with ``validate``) is a readable
+    archive whose content checksum verifies.  A corrupt or truncated
+    checkpoint reports ``False`` rather than raising, so recovery code
+    can fall back to an older checkpoint or a fresh start."""
+    if not os.path.exists(path):
+        return False
+    if not validate:
+        return True
+    try:
+        with np.load(path) as archive:
+            _verify(archive, path)
+    except (CheckpointCorruptError, OSError, ValueError,
+            zipfile.BadZipFile, KeyError):
+        return False
+    return True

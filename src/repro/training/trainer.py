@@ -25,7 +25,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ConfigError, ScheduleError
+from ..comm.collectives import active_fault_injector
+from ..errors import CollectiveTimeout, ConfigError, CorruptionDetected, ScheduleError
 from ..layers.embedding import token_tensor
 from ..layers.module import Module
 from ..layers.transformer import Recompute
@@ -47,6 +48,33 @@ def split_microbatches(ids: np.ndarray, targets: np.ndarray,
             np.split(targets, num_microbatches, axis=1),
         )
     ]
+
+
+def run_step_with_retries(step_fn, max_retries: int = 3,
+                          backoff_base_s: float = 0.05,
+                          backoff_factor: float = 2.0):
+    """Run ``step_fn`` again after a *transient* collective fault.
+
+    Collective timeouts and detected payload corruption abort a step
+    attempt before any optimizer state changed (gradients are re-zeroed
+    on entry), so re-running the whole step is exact.  Backoff between
+    attempts is exponential and charged to the simulated clock via the
+    installed fault injector, if any.  After ``max_retries`` failed
+    retries the last error propagates; rank failures are not transient
+    and propagate immediately (the resilience layer rolls back instead).
+    """
+    attempt = 0
+    while True:
+        try:
+            return step_fn()
+        except (CollectiveTimeout, CorruptionDetected) as error:
+            if attempt >= max_retries:
+                raise
+            backoff = backoff_base_s * backoff_factor ** attempt
+            attempt += 1
+            injector = active_fault_injector()
+            if injector is not None:
+                injector.on_retry(getattr(injector, "step", -1), error, backoff)
 
 
 class Trainer:
@@ -75,6 +103,16 @@ class Trainer:
             self.model.finish_grad_sync()
         self.optimizer.step()
         return total / num_microbatches
+
+    def train_step_with_retry(self, ids: np.ndarray, targets: np.ndarray,
+                              num_microbatches: int = 1, max_retries: int = 3,
+                              backoff_base_s: float = 0.05,
+                              backoff_factor: float = 2.0) -> float:
+        """:meth:`train_step` under :func:`run_step_with_retries`."""
+        return run_step_with_retries(
+            lambda: self.train_step(ids, targets, num_microbatches),
+            max_retries=max_retries, backoff_base_s=backoff_base_s,
+            backoff_factor=backoff_factor)
 
 
 @dataclass

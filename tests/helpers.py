@@ -48,6 +48,44 @@ def check_grad(op: Callable[[Tensor], Tensor], x: np.ndarray,
     np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)
 
 
+def flat_weights(model) -> List[np.ndarray]:
+    """Every parameter shard of a model, in deterministic order."""
+    return [np.asarray(shard)
+            for param in model.parameters() for shard in param.shards]
+
+
+def assert_weights_bitwise_equal(model_a, model_b) -> None:
+    for a, b in zip(flat_weights(model_a), flat_weights(model_b)):
+        assert a.dtype == b.dtype and np.array_equal(a, b), \
+            "weights differ bitwise"
+
+
+def run_resilient(model_factory, plan, checkpoint_path, num_steps: int = 6,
+                  data_parallel: int = 2, batch_seed: int = 5,
+                  batch_size: int = 4, lr: float = 1e-2, policy=None,
+                  microbatches_per_replica: int = 1,
+                  experiment_config=None):
+    """Train under a fault plan; returns ``(trainer, RunResult)``.
+
+    The batch stream is step-keyed, so the same ``batch_seed`` always
+    produces the same global batches — comparable across fault plans.
+    """
+    from repro.resilience import ResilientTrainer
+    from repro.training import DataParallelTrainer
+
+    trainer = DataParallelTrainer(model_factory, data_parallel=data_parallel,
+                                  lr=lr)
+    model_cfg = trainer.model.config
+    from repro.resilience import make_step_batches
+    batch_fn = make_step_batches(model_cfg.vocab_size, model_cfg.seq_length,
+                                 batch_size=batch_size, seed=batch_seed)
+    resilient = ResilientTrainer(
+        trainer, batch_fn, str(checkpoint_path), plan=plan, policy=policy,
+        microbatches_per_replica=microbatches_per_replica,
+        experiment_config=experiment_config)
+    return trainer, resilient.run(num_steps)
+
+
 def random_tokens(rng: np.random.Generator, vocab: int, s: int, b: int) -> np.ndarray:
     return rng.integers(0, vocab, size=(s, b)).astype(np.int64)
 
