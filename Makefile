@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction.
 PY ?= python
 
-.PHONY: test bench chaos report examples all clean
+.PHONY: test bench chaos trace report examples all clean
 
 test:
 	$(PY) -m pytest tests/
@@ -19,6 +19,13 @@ chaos:
 	done
 	@echo "all chaos campaigns recovered bitwise-identical"
 
+# Instrumented smoke run: merged Perfetto trace + Prometheus/JSON
+# metrics, schema-validated and byte-deterministic (docs/observability.md).
+trace:
+	$(PY) -m repro trace --config tiny --output-dir trace-out
+	$(PY) -c "import json; json.load(open('trace-out/trace.json')); json.load(open('trace-out/metrics.json'))"
+	@echo "trace artifacts written to trace-out/"
+
 report:
 	$(PY) -m repro report --output report.md
 
@@ -29,5 +36,5 @@ examples:
 all: test bench report
 
 clean:
-	rm -rf .pytest_cache .hypothesis report.md
+	rm -rf .pytest_cache .hypothesis report.md trace-out
 	find . -name __pycache__ -type d -exec rm -rf {} +

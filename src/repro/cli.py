@@ -24,6 +24,7 @@ from .memory_model import (
     total_activation_bytes,
     weight_and_optimizer_bytes,
 )
+from .observability.serialize import dumps_json
 from .perf_model import iteration_time
 from .planner import plan
 from .reporting import format_table, pct
@@ -36,12 +37,27 @@ def _config(name: str):
     return PAPER_CONFIGS[name]
 
 
+def emit_json(payload) -> str:
+    """Canonical ``--json`` output: every subcommand funnels through the
+    shared serializer (sorted keys, fixed separators) so machine-readable
+    output is deterministic and uniform across commands."""
+    return dumps_json(payload).rstrip("\n")
+
+
 def cmd_table(args) -> str:
     if args.number == 2:
+        if args.json:
+            return emit_json({"table": 2, "model": args.model,
+                              "rows": experiments.table2_data(args.model)})
         return experiments.table2_report(args.model)
     if args.number == 4:
+        if args.json:
+            return emit_json({"table": 4, "model": "22B",
+                              "rows": experiments.table4_data()})
         return experiments.table4_report()
     if args.number == 5:
+        if args.json:
+            return emit_json({"table": 5, "rows": experiments.table5_data()})
         return experiments.table5_report()
     raise SystemExit("reproducible tables: 2, 4, 5")
 
@@ -65,13 +81,21 @@ def cmd_memory(args) -> str:
     cfg = _config(args.model)
     recompute = Recompute(args.recompute)
     rows = []
+    data = []
     for sp in (False, True):
         per_layer = per_layer_activation_bytes(
             cfg.model, cfg.training.micro_batch_size,
             cfg.parallel.tensor_parallel, sp, recompute)
         total = total_activation_bytes(cfg, recompute=recompute, sequence_parallel=sp)
         rows.append(("yes" if sp else "no", fmt_bytes(per_layer), fmt_bytes(total)))
+        data.append({"sequence_parallel": sp, "per_layer_bytes": per_layer,
+                     "first_stage_total_bytes": total})
     static = weight_and_optimizer_bytes(cfg)
+    if args.json:
+        return emit_json({"model": args.model, "recompute": recompute,
+                          "tensor_parallel": cfg.parallel.tensor_parallel,
+                          "pipeline_parallel": cfg.parallel.pipeline_parallel,
+                          "activations": data, "static_bytes": static})
     text = format_table(
         ["sequence parallel", "per layer", "first-stage total"],
         rows,
@@ -87,9 +111,18 @@ def cmd_flops(args) -> str:
     batch = cfg.training.global_batch_size
     model_fl = model_flops_per_iteration(cfg.model, batch)
     rows = []
+    data = []
     for rc in (Recompute.NONE, Recompute.SELECTIVE, Recompute.FULL):
         hw = hardware_flops_per_iteration(cfg.model, batch, rc)
         rows.append((rc.value, fmt_flops(hw), f"{hw / model_fl:.4f}"))
+        data.append({"recompute": rc, "hardware_flops": hw,
+                     "hardware_to_model": hw / model_fl})
+    if args.json:
+        return emit_json({
+            "model": args.model, "global_batch_size": batch,
+            "model_flops": model_fl,
+            "eq9_ratio": hardware_to_model_ratio(cfg.model),
+            "parameters": cfg.model.parameter_count(), "rows": data})
     text = format_table(
         ["recompute", "hardware FLOPs/iter", "hardware/model"],
         rows,
@@ -105,6 +138,9 @@ def cmd_plan(args) -> str:
     cfg = _config(args.model)
     option = plan(cfg, device_memory_bytes=args.memory_gb * GIB,
                   full_layer_step=max(1, cfg.model.num_layers // 16))
+    if args.json:
+        return emit_json({"model": args.model, "memory_gb": args.memory_gb,
+                          "option": option, "total_bytes": option.total_bytes})
     return (
         f"cheapest strategy that fits {args.memory_gb} GB on {args.model}:\n"
         f"  {option.description}\n"
@@ -122,6 +158,9 @@ def cmd_simulate(args) -> str:
         cfg, sequence_parallel=not args.no_sequence_parallel,
         recompute=Recompute(args.recompute), data_parallel=args.data_parallel,
     )
+    if args.json:
+        return emit_json({"model": args.model, "result": result,
+                          "mfu": result.mfu, "hfu": result.hfu})
     text = (
         f"{args.model}: iteration {result.iteration_time:.3f} s "
         f"(pipeline {result.pipeline_time:.3f} s + optimizer "
@@ -178,7 +217,6 @@ def cmd_chaos(args) -> str:
     """Run a tiny training job under a seeded random fault plan and show
     the resilience report; with ``--verify``, also run fault-free at the
     same seed and check the final weights are bitwise identical."""
-    import json
     import os
     import tempfile
 
@@ -221,7 +259,7 @@ def cmd_chaos(args) -> str:
 
     trainer, result = run(plan_)
     if args.json:
-        return json.dumps(result.report.to_json(), indent=2)
+        return emit_json(result.report.to_json())
     text = (f"chaos run: seed {args.seed}, {args.steps} steps, dp={args.dp}, "
             f"fault rate {args.fault_rate}, {len(plan_)} fault(s) planned\n")
     text += result.report.summary()
@@ -237,6 +275,132 @@ def cmd_chaos(args) -> str:
                 "VERIFY FAILED: faulty run does not match the fault-free run")
         text += "\nverify: recovered weights bitwise-identical to fault-free run"
     return text
+
+
+def cmd_trace(args) -> str:
+    """Run a named config fully instrumented and write the merged
+    Perfetto trace plus Prometheus/JSON metrics snapshots.
+
+    The run exercises every event source: pipelined training (compute
+    spans, collectives, recompute, activation-memory counters), a
+    checkpoint save, a short fault-injected data-parallel segment
+    (resilience instants + goodput metrics), and the analytic pipeline
+    schedule rehomed into the same timeline.  All spans sit on the
+    simulated clock, so two runs at the same seed write byte-identical
+    artifacts.
+    """
+    import os
+    import tempfile
+
+    from .config import ModelConfig
+    from .observability import (
+        MetricsRegistry,
+        Tracer,
+        export_trace,
+        rehome_events,
+        trace_scope,
+        validate_trace_file,
+    )
+    from .parallel.transformer import ParallelGPTModel
+    from .pipeline_sim import TimelineCosts, chrome_trace_events, schedule_1f1b
+    from .resilience import (
+        FaultPlan,
+        RecoveryPolicy,
+        ResilientTrainer,
+        make_step_batches,
+    )
+    from .tensor import MemoryTracker, seed
+    from .training import DataParallelTrainer
+    from .training.data import UniformTokens
+    from .training.optimizer import Adam
+    from .training.serialization import save_training_state
+    from .training.trainer import PipelinedGPT
+
+    presets = {
+        "tiny": dict(num_layers=2, hidden_size=16, num_heads=2,
+                     seq_length=16, vocab_size=32, microbatches=2, batch=4),
+        "small": dict(num_layers=4, hidden_size=32, num_heads=4,
+                      seq_length=32, vocab_size=64, microbatches=4, batch=8),
+    }
+    preset = dict(presets[args.config])
+    microbatches = preset.pop("microbatches")
+    batch = preset.pop("batch")
+    model_cfg = ModelConfig(name=f"trace-{args.config}", **preset)
+    tp = pp = 2
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    registry = MetricsRegistry()
+    tracer = Tracer(metrics=registry)
+
+    model = ParallelGPTModel(model_cfg, tensor_parallel=tp,
+                             attention_dropout=0.0, hidden_dropout=0.0,
+                             recompute=Recompute.FULL)
+    pipe = PipelinedGPT(model, pipeline_parallel=pp)
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    trackers = [MemoryTracker() for _ in range(pp)]
+    for stage, tracker in enumerate(trackers):
+        tracer.watch_tracker(tracker, f"stage{stage}")
+
+    seed(args.seed)
+    data = UniformTokens(model_cfg.vocab_size, model_cfg.seq_length,
+                         seed=args.seed + 1)
+    ckpt_path = os.path.join(args.output_dir, "trace-checkpoint.npz")
+    with trace_scope(tracer):
+        for _ in range(args.steps):
+            ids, targets = data.batch(batch)
+            optimizer.zero_grad()
+            pipe.train_step(ids, targets, num_microbatches=microbatches,
+                            trackers=trackers)
+            optimizer.step()
+        save_training_state(model, optimizer, ckpt_path)
+
+        # A short fault-injected data-parallel segment: resilience
+        # instants land on the same timeline and the report's goodput
+        # flows into the metrics snapshot via observe_resilience.
+        def factory():
+            return ParallelGPTModel(model_cfg, tensor_parallel=tp,
+                                    attention_dropout=0.0, hidden_dropout=0.0)
+
+        batch_fn = make_step_batches(model_cfg.vocab_size,
+                                     model_cfg.seq_length,
+                                     batch_size=4, seed=args.seed)
+        fault_plan = FaultPlan.random(seed=args.seed, num_steps=2,
+                                      fault_rate=0.5, world_size=2)
+        dp_trainer = DataParallelTrainer(factory, data_parallel=2, lr=1e-2)
+        fd, chaos_ckpt = tempfile.mkstemp(suffix=".npz")
+        os.close(fd)
+        try:
+            result = ResilientTrainer(
+                dp_trainer, batch_fn, chaos_ckpt, plan=fault_plan,
+                policy=RecoveryPolicy(checkpoint_interval=2)).run(2)
+        finally:
+            os.remove(chaos_ckpt)
+        registry.observe_resilience(result.report)
+    os.remove(ckpt_path)  # keep only the observability artifacts
+
+    schedule = schedule_1f1b(pp, microbatches)
+    pipeline_events = rehome_events(
+        chrome_trace_events(schedule, TimelineCosts(num_groups=pp)))
+    trace_path = os.path.join(args.output_dir, "trace.json")
+    num_events = export_trace(tracer, trace_path,
+                              extra_events=pipeline_events)
+    validate_trace_file(trace_path)
+    prom_path = os.path.join(args.output_dir, "metrics.prom")
+    with open(prom_path, "w") as fh:
+        fh.write(registry.to_prometheus())
+    json_path = os.path.join(args.output_dir, "metrics.json")
+    with open(json_path, "w") as fh:
+        fh.write(registry.to_json())
+    return (
+        f"traced {args.config} ({args.steps} step(s), seed {args.seed}): "
+        f"{len(tracer.spans)} span(s), {len(tracer.instants)} instant(s), "
+        f"simulated clock {tracer.clock_s:.6f} s, "
+        f"goodput {result.report.goodput():.1%}\n"
+        f"  {trace_path}: {num_events} events (validated; open in "
+        f"https://ui.perfetto.dev)\n"
+        f"  {prom_path}: Prometheus text exposition\n"
+        f"  {json_path}: canonical JSON snapshot"
+    )
 
 
 def cmd_report(args) -> str:
@@ -257,9 +421,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_json_flag(p):
+        p.add_argument("--json", action="store_true",
+                       help="emit machine-readable canonical JSON")
+
     p = sub.add_parser("table", help="regenerate a paper table (2, 4 or 5)")
     p.add_argument("number", type=int)
     p.add_argument("--model", default="22B", choices=PAPER_CONFIG_NAMES)
+    add_json_flag(p)
     p.set_defaults(fn=cmd_table)
 
     p = sub.add_parser("figure", help="regenerate a paper figure (1, 7, 8, 9 or 10)")
@@ -270,15 +439,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="530B", choices=PAPER_CONFIG_NAMES)
     p.add_argument("--recompute", default="selective",
                    choices=[r.value for r in Recompute])
+    add_json_flag(p)
     p.set_defaults(fn=cmd_memory)
 
     p = sub.add_parser("flops-report", help="model vs hardware FLOPs (Appendix A)")
     p.add_argument("--model", default="175B", choices=PAPER_CONFIG_NAMES)
+    add_json_flag(p)
     p.set_defaults(fn=cmd_flops)
 
     p = sub.add_parser("plan", help="cheapest recompute strategy that fits memory")
     p.add_argument("--model", default="530B", choices=PAPER_CONFIG_NAMES)
     p.add_argument("--memory-gb", type=float, default=80.0)
+    add_json_flag(p)
     p.set_defaults(fn=cmd_plan)
 
     p = sub.add_parser("simulate-pipeline", help="end-to-end iteration simulation")
@@ -289,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data-parallel", type=int, default=1)
     p.add_argument("--breakdown", action="store_true",
                    help="attribute per-layer time to GEMM/elementwise/comm")
+    add_json_flag(p)
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("section5", help="Section 5 selective-recompute claims")
@@ -317,6 +490,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="also run fault-free and require bitwise-equal weights")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "trace", help="instrumented run: merged Perfetto trace + metrics")
+    p.add_argument("--config", default="tiny", choices=["tiny", "small"])
+    p.add_argument("--steps", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output-dir", default="trace-out")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("report", help="regenerate every table/figure in one document")
     p.add_argument("--output", default=None, help="write to a file instead of stdout")

@@ -32,6 +32,22 @@ from ..tensor.backend import ArrayLike
 #: on the clean path, where collectives pay only this one identity check.
 _INJECTOR = None
 
+#: The installed trace observer (see :mod:`repro.observability.tracer`).
+#: ``None`` when tracing is off — same one-identity-check contract.
+_TRACE_HOOK = None
+
+
+def install_trace_hook(hook) -> None:
+    """Install (or with ``None``, remove) the collective trace observer.
+
+    The hook is called as ``hook(op, shards)`` before each simulated
+    collective executes; :mod:`repro.observability` uses it to price the
+    call on the simulated clock and record a span.  Installed/removed by
+    :func:`repro.observability.tracer.install_tracer`.
+    """
+    global _TRACE_HOOK
+    _TRACE_HOOK = hook
+
 
 def install_fault_injector(injector) -> None:
     """Install (or with ``None``, remove) the process-wide fault injector.
@@ -63,7 +79,9 @@ def fault_scope(injector) -> Iterator[None]:
 
 
 def _inject(op: str, shards: Sequence[ArrayLike]) -> Sequence[ArrayLike]:
-    """Give the injector a chance to observe/fault this collective."""
+    """Give the tracer and the injector a chance to observe this call."""
+    if _TRACE_HOOK is not None:
+        _TRACE_HOOK(op, shards)
     if _INJECTOR is None:
         return shards
     return _INJECTOR.on_collective(op, shards)

@@ -113,14 +113,20 @@ def figure1_report() -> str:
 # Table 2 — per-layer activation memory formulas
 # ---------------------------------------------------------------------------
 
-def table2_report(model_name: str = "22B") -> str:
+def table2_data(model_name: str = "22B") -> List[dict]:
     cfg = PAPER_CONFIGS[model_name]
     rows = table2(cfg.model, cfg.training.micro_batch_size,
                   cfg.parallel.tensor_parallel, extended=True)
+    return [{"technique": r.technique, "bytes_per_layer": r.bytes_per_layer,
+             "formula": r.formula} for r in rows]
+
+
+def table2_report(model_name: str = "22B") -> str:
+    rows = table2_data(model_name)
     return format_table(
         ["configuration", "bytes/layer", "", "formula"],
-        [(r.technique, f"{r.bytes_per_layer:,.0f}", fmt_bytes(r.bytes_per_layer), r.formula)
-         for r in rows],
+        [(r["technique"], f"{r['bytes_per_layer']:,.0f}",
+          fmt_bytes(r["bytes_per_layer"]), r["formula"]) for r in rows],
         title=f"Table 2: activation memory per transformer layer ({model_name})",
     )
 
@@ -165,22 +171,40 @@ def figure7_report() -> str:
 # Table 4 — per-layer times, 22B
 # ---------------------------------------------------------------------------
 
-def table4_report(cost: Optional[KernelCostModel] = None) -> str:
+def table4_data(cost: Optional[KernelCostModel] = None) -> List[dict]:
     cfg = PAPER_CONFIGS["22B"]
     rows = table4(cfg.model, cfg.training.micro_batch_size,
                   cfg.parallel.tensor_parallel, cost=cost)
     base = rows[0].times
-    table_rows = []
+    out = []
     for r in rows:
         pf, pb, pc, pov = PAPER_TABLE4[r.experiment]
-        overhead = r.times.overhead_vs(base)
+        out.append({
+            "experiment": r.experiment,
+            "forward_s": r.times.forward,
+            "backward_s": r.times.backward_total,
+            "combined_s": r.times.combined,
+            "overhead_vs_baseline": r.times.overhead_vs(base),
+            "paper_forward_ms": pf,
+            "paper_backward_ms": pb,
+            "paper_combined_ms": pc,
+            "paper_overhead": pov,
+        })
+    return out
+
+
+def table4_report(cost: Optional[KernelCostModel] = None) -> str:
+    rows = table4_data(cost)
+    table_rows = []
+    for r in rows:
         table_rows.append((
-            r.experiment,
-            ms(r.times.forward), str(pf),
-            ms(r.times.backward_total), str(pb),
-            ms(r.times.combined), str(pc),
-            "-" if r.experiment == "Baseline no recompute" else pct(overhead, 0),
-            "-" if pov is None else pct(pov, 0),
+            r["experiment"],
+            ms(r["forward_s"]), str(r["paper_forward_ms"]),
+            ms(r["backward_s"]), str(r["paper_backward_ms"]),
+            ms(r["combined_s"]), str(r["paper_combined_ms"]),
+            ("-" if r["experiment"] == "Baseline no recompute"
+             else pct(r["overhead_vs_baseline"], 0)),
+            "-" if r["paper_overhead"] is None else pct(r["paper_overhead"], 0),
         ))
     return format_table(
         ["experiment", "fwd ms", "paper", "bwd ms", "paper", "combined ms",

@@ -1,0 +1,46 @@
+"""Unified tracing + metrics for the simulated training stack.
+
+Three pieces, all keyed on **simulated time** so traces are exactly
+reproducible:
+
+* :mod:`~repro.observability.tracer` — span tracer with a deterministic
+  clock, installed process-wide via :func:`trace_scope`; every hook in
+  the tensor/comm/training/resilience layers is a no-op ``is None``
+  check when tracing is off;
+* :mod:`~repro.observability.metrics` — labelled counters, gauges and
+  histograms with Prometheus-text and canonical-JSON export;
+* :mod:`~repro.observability.perfetto` — the merged Chrome/Perfetto
+  trace exporter (one pid per subsystem, one tid per rank, counter
+  tracks for activation bytes) plus the schema validator.
+
+Entry point: ``python -m repro trace --config tiny`` writes both
+artifacts for a small instrumented run.  See ``docs/observability.md``.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .perfetto import (
+    export_trace,
+    merged_trace,
+    rehome_events,
+    tracer_events,
+    validate_trace_events,
+    validate_trace_file,
+)
+from .serialize import dump_json, dumps_json, to_jsonable
+from .tracer import (
+    InstantEvent,
+    SpanEvent,
+    Tracer,
+    active_tracer,
+    install_tracer,
+    span_or_null,
+    trace_scope,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "InstantEvent", "MetricsRegistry",
+    "SpanEvent", "Tracer", "active_tracer", "dump_json", "dumps_json",
+    "export_trace", "install_tracer", "merged_trace", "rehome_events",
+    "span_or_null", "to_jsonable", "trace_scope", "tracer_events",
+    "validate_trace_events", "validate_trace_file",
+]

@@ -1,0 +1,206 @@
+"""Merged Perfetto / ``chrome://tracing`` JSON export.
+
+One trace file interleaves every instrumented event source on the same
+simulated-time axis:
+
+* one **pid** per subsystem (``train``, ``compute``, ``comm``,
+  ``memory``, ``checkpoint``, ``resilience``, ``pipeline``), named with
+  ``process_name`` metadata events;
+* one **tid** per rank inside a subsystem, named with ``thread_name``
+  metadata events;
+* duration events (``ph: "X"``) for tracer spans, instant events
+  (``ph: "i"``) for faults/recoveries/checkpoints, counter events
+  (``ph: "C"``) for the memory trackers' activation-byte watermarks;
+* optionally the existing :mod:`repro.pipeline_sim.chrome_trace`
+  schedule events, re-homed under the ``pipeline`` pid.
+
+Events are sorted by ``(pid, tid, ts, name)`` so every track is
+monotone in ``ts`` and the byte stream is deterministic.
+:func:`validate_trace_events` is the schema contract the tests and the
+``repro trace`` CLI both enforce.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from .serialize import to_jsonable
+from .tracer import Tracer
+
+#: Canonical subsystem -> pid assignment (stable across runs).
+SUBSYSTEM_PIDS: Dict[str, int] = {
+    "train": 1,
+    "compute": 2,
+    "comm": 3,
+    "memory": 4,
+    "checkpoint": 5,
+    "resilience": 6,
+    "pipeline": 7,
+}
+
+#: Chrome traces use microseconds; tracer clocks are simulated seconds.
+TIME_SCALE = 1e6
+
+
+def _pid_for(subsystem: str) -> int:
+    if subsystem not in SUBSYSTEM_PIDS:
+        # Unknown subsystems get a stable pid past the canonical block.
+        return 100 + sum(ord(c) for c in subsystem) % 100
+    return SUBSYSTEM_PIDS[subsystem]
+
+
+def _metadata(pid: int, name: str, tids: Iterable[int],
+              thread_prefix: str = "rank") -> List[dict]:
+    out = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name}}]
+    for tid in sorted(set(tids)):
+        out.append({"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                    "args": {"name": f"{thread_prefix} {tid}"}})
+    return out
+
+
+def tracer_events(tracer: Tracer, time_scale: float = TIME_SCALE) -> List[dict]:
+    """Tracer spans/instants/memory counters as Chrome trace events."""
+    out: List[dict] = []
+    tids_by_subsystem: Dict[str, set] = {}
+
+    for span in tracer.spans:
+        pid = _pid_for(span.subsystem)
+        tids_by_subsystem.setdefault(span.subsystem, set()).add(span.rank)
+        out.append({
+            "name": span.name, "cat": span.subsystem, "ph": "X",
+            "ts": span.ts * time_scale, "dur": span.dur * time_scale,
+            "pid": pid, "tid": span.rank, "args": to_jsonable(span.args),
+        })
+    for inst in tracer.instants:
+        pid = _pid_for(inst.subsystem)
+        tids_by_subsystem.setdefault(inst.subsystem, set()).add(inst.rank)
+        out.append({
+            "name": inst.name, "cat": inst.subsystem, "ph": "i", "s": "t",
+            "ts": inst.ts * time_scale, "pid": pid, "tid": inst.rank,
+            "args": to_jsonable(inst.args),
+        })
+
+    memory_pid = _pid_for("memory")
+    have_memory = False
+    for name in sorted(tracer.watched_trackers()):
+        tracker = tracer.watched_trackers()[name]
+        for event in tracker.watermark_events():
+            have_memory = True
+            out.append({
+                "name": f"activation_bytes[{name}/rank {event.rank}]",
+                "cat": "memory", "ph": "C", "ts": event.t * time_scale,
+                "pid": memory_pid, "tid": 0,
+                "args": {"live": event.live_bytes, "peak": event.peak_bytes},
+            })
+
+    for subsystem, tids in sorted(tids_by_subsystem.items()):
+        out.extend(_metadata(_pid_for(subsystem), subsystem, tids))
+    if have_memory:
+        out.extend(_metadata(memory_pid, "memory", [0], "counters"))
+    return out
+
+
+def rehome_events(events: Iterable[dict], subsystem: str = "pipeline",
+                  process_name: Optional[str] = None) -> List[dict]:
+    """Re-assign foreign Chrome events (e.g. the pipeline-schedule trace
+    from :mod:`repro.pipeline_sim.chrome_trace`) to ``subsystem``'s pid so
+    they interleave with tracer events without pid collisions."""
+    pid = _pid_for(subsystem)
+    out = []
+    tids = set()
+    for event in events:
+        ev = dict(event)
+        ev["pid"] = pid
+        if ev.get("ph") != "M":
+            tids.add(ev.get("tid", 0))
+            out.append(ev)
+        elif ev.get("name") == "thread_name":
+            out.append(ev)  # keep the source's row names
+    out.append({"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": process_name or subsystem}})
+    return out
+
+
+def _sort_key(event: dict):
+    # Metadata first (no ts), then per-track monotone time.
+    is_meta = 0 if event.get("ph") == "M" else 1
+    return (event.get("pid", 0), event.get("tid", 0), is_meta,
+            event.get("ts", -1.0), event.get("name", ""))
+
+
+def merged_trace(tracer: Tracer, extra_events: Optional[List[dict]] = None,
+                 time_scale: float = TIME_SCALE) -> dict:
+    """The full trace document: tracer + extra sources, sorted and ready
+    for ``json.dump``."""
+    events = tracer_events(tracer, time_scale)
+    if extra_events:
+        events.extend(extra_events)
+    events.sort(key=_sort_key)
+    return {"traceEvents": to_jsonable(events), "displayTimeUnit": "ms"}
+
+
+def export_trace(tracer: Tracer, path: str,
+                 extra_events: Optional[List[dict]] = None,
+                 time_scale: float = TIME_SCALE) -> int:
+    """Write the merged trace to ``path``; returns the event count.
+
+    The byte stream is canonical (sorted keys, fixed separators) so two
+    runs at the same seed write identical files.
+    """
+    doc = merged_trace(tracer, extra_events, time_scale)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return len(doc["traceEvents"])
+
+
+def validate_trace_events(events: List[dict]) -> None:
+    """Assert the Perfetto-loadable schema contract; raises ``ValueError``.
+
+    Checks, per the trace tests' requirements: every duration event has
+    ``ph/ts/dur/pid/tid`` with non-negative durations, ``ts`` is monotone
+    non-decreasing within each ``(pid, tid)`` track, and every pid that
+    emits events also carries ``process_name`` metadata.
+    """
+    last_ts: Dict[tuple, float] = {}
+    named_pids = set()
+    used_pids = set()
+    for event in events:
+        ph = event.get("ph")
+        if ph is None:
+            raise ValueError(f"event missing 'ph': {event!r}")
+        if ph == "M":
+            if event.get("name") == "process_name":
+                named_pids.add(event["pid"])
+            continue
+        for key in ("ts", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"event missing {key!r}: {event!r}")
+        used_pids.add(event["pid"])
+        if event["ts"] < 0:
+            raise ValueError(f"negative ts: {event!r}")
+        if ph == "X":
+            if "dur" not in event:
+                raise ValueError(f"duration event missing 'dur': {event!r}")
+            if event["dur"] < 0:
+                raise ValueError(f"negative dur: {event!r}")
+            track = (event["pid"], event["tid"])
+            if event["ts"] < last_ts.get(track, 0.0):
+                raise ValueError(
+                    f"non-monotone ts on track {track}: {event!r}")
+            last_ts[track] = event["ts"]
+    unnamed = used_pids - named_pids
+    if unnamed:
+        raise ValueError(f"pids without process_name metadata: {sorted(unnamed)}")
+
+
+def validate_trace_file(path: str) -> int:
+    """Load ``path`` and validate it; returns the number of events."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if "traceEvents" not in doc:
+        raise ValueError(f"{path}: missing 'traceEvents'")
+    validate_trace_events(doc["traceEvents"])
+    return len(doc["traceEvents"])

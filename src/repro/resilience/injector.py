@@ -35,6 +35,7 @@ from ..errors import (
     CorruptionDetected,
     RankFailure,
 )
+from ..observability.tracer import active_tracer
 from ..tensor import backend as bk
 from .faults import FaultKind, FaultPlan, FaultSpec
 from .report import FaultRecord, RecoveryRecord, ResilienceReport
@@ -107,6 +108,16 @@ class FaultInjector:
         self.report.recoveries.append(RecoveryRecord(
             step=step, action="retry", detail=type(error).__name__,
             backoff_s=backoff_s))
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.advance(backoff_s)
+            tracer.instant("recovery.retry", subsystem="resilience",
+                           step=step, error=type(error).__name__,
+                           backoff_s=backoff_s)
+            if tracer.metrics is not None:
+                tracer.metrics.counter(
+                    "repro_recoveries_total",
+                    "recovery actions by kind").inc(action="retry")
 
     # -- the collective hook --------------------------------------------------
     def on_collective(self, op: str, shards: Sequence) -> Sequence:
@@ -192,6 +203,19 @@ class FaultInjector:
             step=spec.step, kind=spec.kind.value, rank=spec.rank,
             error=error, detected=detected, detection_latency_s=latency,
             op=op))
+        tracer = active_tracer()
+        if tracer is not None:
+            # Mirror the watchdog: simulated time passed while the fault
+            # was being detected.
+            tracer.advance(latency)
+            tracer.instant(f"fault.{spec.kind.value}", subsystem="resilience",
+                           rank=spec.rank, step=spec.step, op=op,
+                           error=error or "flagged", detected=detected,
+                           detection_latency_s=latency)
+            if tracer.metrics is not None:
+                tracer.metrics.counter(
+                    "repro_faults_total",
+                    "injected faults by kind").inc(kind=spec.kind.value)
 
     @property
     def faults_fired(self) -> int:

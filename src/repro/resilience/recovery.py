@@ -36,6 +36,7 @@ import numpy as np
 
 from ..comm.collectives import fault_scope
 from ..config import ExperimentConfig, ResilienceConfig
+from ..observability.tracer import active_tracer
 from ..errors import CommError, ConfigError, RankFailure, ReproError
 from ..flops_model import hardware_flops_per_iteration
 from ..layers.transformer import Recompute
@@ -157,6 +158,16 @@ class ResilientTrainer:
                     f"{self._ckpt_step} checkpoint, replaying "
                     f"{wasted_steps} step(s)"),
             wasted_flops=wasted))
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.instant("recovery.rollback", subsystem="resilience",
+                           step=step, restored_step=self._ckpt_step,
+                           replayed_steps=wasted_steps,
+                           error=type(error).__name__)
+            if tracer.metrics is not None:
+                tracer.metrics.counter(
+                    "repro_recoveries_total",
+                    "recovery actions by kind").inc(action="rollback")
         self._restore_checkpoint()
         return self._ckpt_step
 
@@ -180,6 +191,14 @@ class ResilientTrainer:
             detail=(f"rank {failure.rank} lost permanently; data-parallel "
                     f"group {new_dp + 1} -> {new_dp}, "
                     f"{self.microbatches_per_replica} microbatch(es)/replica")))
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.instant("recovery.shrink", subsystem="resilience",
+                           step=step, dead_rank=failure.rank, new_world=new_dp)
+            if tracer.metrics is not None:
+                tracer.metrics.counter(
+                    "repro_recoveries_total",
+                    "recovery actions by kind").inc(action="shrink")
         if self.experiment_config is not None:
             option = replan_after_shrink(
                 self.experiment_config, new_dp,

@@ -11,8 +11,10 @@ interval.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
+
+from ..observability.serialize import to_jsonable
 
 
 @dataclass
@@ -67,9 +69,16 @@ class ResilienceReport:
         return 1.0 if total == 0 else self.useful_flops / total
 
     def to_json(self) -> Dict[str, Any]:
-        return {
-            "faults": [asdict(f) for f in self.faults],
-            "recoveries": [asdict(r) for r in self.recoveries],
+        """The report as plain JSON types.
+
+        Serializes through the canonical path shared with the metrics
+        snapshot (:mod:`repro.observability.serialize`), and is itself
+        the single source :meth:`MetricsRegistry.observe_resilience`
+        consumes — goodput is computed once, here.
+        """
+        return to_jsonable({
+            "faults": self.faults,
+            "recoveries": self.recoveries,
             "collectives_observed": self.collectives_observed,
             "steps_completed": self.steps_completed,
             "steps_replayed": self.steps_replayed,
@@ -83,7 +92,7 @@ class ResilienceReport:
             "simulated_seconds": self.simulated_seconds,
             "final_world_size": self.final_world_size,
             "all_faults_detected": self.all_faults_detected,
-        }
+        })
 
     def summary(self) -> str:
         lines = [

@@ -15,7 +15,7 @@ from .context import (
     set_rng_state,
 )
 from .dtypes import BF16, FP16, FP32, INT32, INT64, MASK, DType
-from .memory_tracker import MemorySnapshot, MemoryTracker
+from .memory_tracker import MemorySnapshot, MemoryTracker, WatermarkEvent
 from .oplog import CommInfo, OpKind, OpLog, OpRecord, Phase
 from .tensor import (
     Function,
@@ -38,5 +38,5 @@ __all__ = [
     "ctx", "enable_grad", "free_graph", "from_numpy", "functions",
     "get_rng_state", "instrument", "is_abstract", "is_grad_enabled", "no_grad",
     "parameter", "phase", "replicate", "run_backward", "seed", "set_rng",
-    "set_rng_state", "shard_along",
+    "set_rng_state", "shard_along", "WatermarkEvent",
 ]

@@ -75,11 +75,17 @@ class Checkpoint(Function):
 
         resume_state = get_rng_state()
         set_rng_state(fctx.misc["rng_state"])
+        tracer = ctx().tracer
+        if tracer is not None:
+            tracer.begin_span(f"recompute[{self.label or 'checkpoint'}]",
+                              subsystem="train")
         try:
             with enable_grad(), phase(Phase.RECOMPUTE):
                 out = self.fn(*leaves)
         finally:
             set_rng_state(resume_state)
+            if tracer is not None:
+                tracer.end_span()
 
         outputs = list(out) if isinstance(out, tuple) else [out]
         if len(outputs) != len(grad_lists):

@@ -28,6 +28,9 @@ class ExecutionContext:
     phase: Phase = Phase.FORWARD
     memory: Optional[MemoryTracker] = None
     oplog: Optional[OpLog] = None
+    #: Installed by :func:`repro.observability.tracer.install_tracer`;
+    #: ``None`` (tracing off) keeps every hook site a single identity check.
+    tracer: Optional[object] = None
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
 
 

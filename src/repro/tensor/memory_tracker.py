@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .backend import size_of
 from .dtypes import DType
@@ -32,6 +32,18 @@ class _BufferEntry:
     nbytes: int
     category: str
     refcount: int = 1
+
+
+@dataclass(frozen=True)
+class WatermarkEvent:
+    """One peak-watermark crossing: rank ``rank`` set a new peak at time
+    ``t`` (simulated seconds when a tracer clock is wired in, otherwise
+    the tracker's own monotone save/release sequence number)."""
+
+    t: float
+    rank: int
+    peak_bytes: int
+    live_bytes: int
 
 
 @dataclass
@@ -52,15 +64,27 @@ class MemorySnapshot:
 class MemoryTracker:
     """Tracks live and peak saved-activation bytes per rank."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
         self._entries: Dict[Tuple[int, int], _BufferEntry] = {}
         self._live: Dict[int, int] = defaultdict(int)
         self._peak: Dict[int, int] = defaultdict(int)
         self._category_live: Dict[int, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        self._clock = clock
+        self._seq = 0
+        self._watermarks: List[WatermarkEvent] = []
+
+    def set_clock(self, clock: Optional[Callable[[], float]]) -> None:
+        """Timestamp watermark events with ``clock()`` (e.g. a tracer's
+        simulated clock) instead of the internal sequence number."""
+        self._clock = clock
+
+    def _now(self) -> float:
+        return float(self._seq) if self._clock is None else self._clock()
 
     # -- recording ---------------------------------------------------------
     def save(self, rank: int, buffer, dtype: DType, category: str = "activation") -> None:
         """Charge ``buffer`` (array-like) to ``rank`` at ``dtype`` width."""
+        self._seq += 1
         key = (rank, id(buffer))
         entry = self._entries.get(key)
         if entry is not None:
@@ -72,9 +96,13 @@ class MemoryTracker:
         self._category_live[rank][category] += nbytes
         if self._live[rank] > self._peak[rank]:
             self._peak[rank] = self._live[rank]
+            self._watermarks.append(WatermarkEvent(
+                t=self._now(), rank=rank, peak_bytes=self._peak[rank],
+                live_bytes=self._live[rank]))
 
     def release(self, rank: int, buffer) -> None:
         """Drop one tape reference to ``buffer`` on ``rank``."""
+        self._seq += 1
         key = (rank, id(buffer))
         entry = self._entries.get(key)
         if entry is None:
@@ -101,6 +129,14 @@ class MemoryTracker:
 
     def category_breakdown(self, rank: int) -> Dict[str, int]:
         return {k: v for k, v in self._category_live[rank].items() if v != 0}
+
+    def watermark_events(self, rank: Optional[int] = None) -> List[WatermarkEvent]:
+        """The timestamped peak-watermark timeline (not just the final
+        peak): one event per time a rank's live bytes set a new peak.
+        The tracer turns these into Perfetto counter events."""
+        if rank is None:
+            return list(self._watermarks)
+        return [w for w in self._watermarks if w.rank == rank]
 
     def snapshot(self) -> MemorySnapshot:
         return MemorySnapshot(

@@ -236,27 +236,44 @@ class FnCtx:
 
     # -- logging ----------------------------------------------------------------
     def log_gemm(self, name: str, flops_per_rank: float, bytes_moved: float = 0.0) -> None:
-        log = ctx().oplog
-        if log is not None:
-            log.add(OpRecord(name=name, kind=OpKind.GEMM, phase=ctx().phase,
-                             flops=flops_per_rank, bytes_moved=bytes_moved))
+        c = ctx()
+        if c.oplog is None and c.tracer is None:
+            return
+        record = OpRecord(name=name, kind=OpKind.GEMM, phase=c.phase,
+                          flops=flops_per_rank, bytes_moved=bytes_moved)
+        if c.oplog is not None:
+            c.oplog.add(record)
+        if c.tracer is not None:
+            c.tracer.on_op(record)
 
     def log_elementwise(self, name: str, bytes_moved: float, flops_per_rank: float = 0.0) -> None:
-        log = ctx().oplog
-        if log is not None:
-            log.add(OpRecord(name=name, kind=OpKind.ELEMENTWISE, phase=ctx().phase,
-                             flops=flops_per_rank, bytes_moved=bytes_moved))
+        c = ctx()
+        if c.oplog is None and c.tracer is None:
+            return
+        record = OpRecord(name=name, kind=OpKind.ELEMENTWISE, phase=c.phase,
+                          flops=flops_per_rank, bytes_moved=bytes_moved)
+        if c.oplog is not None:
+            c.oplog.add(record)
+        if c.tracer is not None:
+            c.tracer.on_op(record)
 
     def log_comm(self, name: str, op: str, nbytes: int, group_size: int,
                  scope: str = "tp", overlapped: bool = False) -> None:
-        log = ctx().oplog
-        if log is not None:
-            log.add(OpRecord(
-                name=name, kind=OpKind.COLLECTIVE if op != "p2p" else OpKind.P2P,
-                phase=ctx().phase,
-                comm=CommInfo(op=op, nbytes=int(nbytes), group_size=group_size, scope=scope),
-                overlapped=overlapped,
-            ))
+        c = ctx()
+        if c.oplog is None and c.tracer is None:
+            return
+        record = OpRecord(
+            name=name, kind=OpKind.COLLECTIVE if op != "p2p" else OpKind.P2P,
+            phase=c.phase,
+            comm=CommInfo(op=op, nbytes=int(nbytes), group_size=group_size, scope=scope),
+            overlapped=overlapped,
+        )
+        if c.oplog is not None:
+            c.oplog.add(record)
+        if c.tracer is not None:
+            # The tracer prices P2P records here; collectives are priced
+            # by the data-plane hook in repro.comm.collectives instead.
+            c.tracer.on_op(record)
 
 
 class Function:

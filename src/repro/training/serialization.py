@@ -26,10 +26,28 @@ import numpy as np
 
 from ..errors import CheckpointCorruptError, ConfigError
 from ..layers.module import Module
+from ..observability.tracer import active_tracer
 from .optimizer import Adam
 
 _SEP = "::"
 _CHECKSUM_KEY = "__checksum__"
+
+
+def _trace_io(event: str, payload: Dict[str, np.ndarray]) -> None:
+    """Record a checkpoint save/restore on the trace timeline."""
+    tracer = active_tracer()
+    if tracer is None:
+        return
+    nbytes = sum(int(np.asarray(a).nbytes) for a in payload.values())
+    tracer.instant(event, subsystem="checkpoint",
+                   bytes=nbytes, entries=len(payload))
+    if tracer.metrics is not None:
+        tracer.metrics.counter(
+            "repro_checkpoint_ops_total",
+            "checkpoint archive operations").inc(event=event)
+        tracer.metrics.counter(
+            "repro_checkpoint_bytes_total",
+            "checkpoint bytes written/read").inc(nbytes, event=event)
 
 
 def _named_shards(model: Module) -> Dict[str, np.ndarray]:
@@ -76,7 +94,9 @@ def _verify(archive: "np.lib.npyio.NpzFile", path: str) -> None:
 
 def save_weights(model: Module, path: str) -> None:
     """Write all parameter shards to ``path`` (.npz), checksummed."""
-    _save(_named_shards(model), path)
+    payload = _named_shards(model)
+    _trace_io("checkpoint.save_weights", payload)
+    _save(payload, path)
 
 
 def load_weights(model: Module, path: str) -> None:
@@ -112,6 +132,7 @@ def save_training_state(model: Module, optimizer: Adam, path: str) -> None:
             for rank in range(param.world):
                 payload[f"__adam_m__{name}{_SEP}{rank}"] = optimizer._m[key][rank]
                 payload[f"__adam_v__{name}{_SEP}{rank}"] = optimizer._v[key][rank]
+    _trace_io("checkpoint.save", payload)
     _save(payload, path)
 
 
@@ -123,6 +144,7 @@ def load_training_state(model: Module, optimizer: Adam, path: str) -> None:
     """
     with np.load(path) as archive:
         _verify(archive, path)
+        _trace_io("checkpoint.restore", {n: archive[n] for n in archive.files})
         for name, param in model.named_parameters():
             for rank in range(param.world):
                 np.copyto(param.shards[rank], archive[f"{name}{_SEP}{rank}"])

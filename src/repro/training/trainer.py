@@ -27,6 +27,7 @@ import numpy as np
 
 from ..comm.collectives import active_fault_injector
 from ..errors import CollectiveTimeout, ConfigError, CorruptionDetected, ScheduleError
+from ..observability.tracer import active_tracer, span_or_null
 from ..layers.embedding import token_tensor
 from ..layers.module import Module
 from ..layers.transformer import Recompute
@@ -85,23 +86,35 @@ class Trainer:
         self.model = model
         self.optimizer = optimizer or Adam(model.parameters(), lr=lr)
         self.world = getattr(getattr(model, "group", None), "size", 1)
+        self.steps_completed = 0
 
     def train_step(self, ids: np.ndarray, targets: np.ndarray,
                    num_microbatches: int = 1) -> float:
         """One iteration: accumulate grads over microbatches, then step."""
+        tracer = active_tracer()
         self.optimizer.zero_grad()
         total = 0.0
-        for mb_ids, mb_targets in split_microbatches(ids, targets, num_microbatches):
-            loss = self.model(
-                token_tensor(mb_ids, world=self.world),
-                token_tensor(mb_targets, world=self.world),
-            )
-            seed = [np.asarray(1.0 / num_microbatches)] * loss.world
-            loss.backward(seed)
-            total += loss.item()
-        if isinstance(self.model, ParallelGPTModel):
-            self.model.finish_grad_sync()
-        self.optimizer.step()
+        with span_or_null(tracer, "step", step=self.steps_completed):
+            for mb, (mb_ids, mb_targets) in enumerate(
+                    split_microbatches(ids, targets, num_microbatches)):
+                with span_or_null(tracer, "forward", microbatch=mb):
+                    loss = self.model(
+                        token_tensor(mb_ids, world=self.world),
+                        token_tensor(mb_targets, world=self.world),
+                    )
+                seed = [np.asarray(1.0 / num_microbatches)] * loss.world
+                with span_or_null(tracer, "backward", microbatch=mb):
+                    loss.backward(seed)
+                total += loss.item()
+            if isinstance(self.model, ParallelGPTModel):
+                with span_or_null(tracer, "grad_sync"):
+                    self.model.finish_grad_sync()
+            with span_or_null(tracer, "optimizer.step"):
+                self.optimizer.step()
+        self.steps_completed += 1
+        if tracer is not None and tracer.metrics is not None:
+            tracer.metrics.counter(
+                "repro_train_steps_total", "completed optimizer steps").inc()
         return total / num_microbatches
 
     def train_step_with_retry(self, ids: np.ndarray, targets: np.ndarray,
@@ -213,7 +226,9 @@ class PipelinedGPT:
                 return (op.microbatch, op.group) in outputs
             return ("B", op.microbatch, op.group + 1) in backward_done
 
-        def run(op: Op, rank: int) -> None:
+        tracer = active_tracer()
+
+        def run_op(op: Op, rank: int) -> None:
             mb, group = op.microbatch, op.group
             with instrument(memory=trackers[rank]):
                 if op.kind == OpKind.F:
@@ -256,6 +271,15 @@ class PipelinedGPT:
                         full_microbatches[rank].discard(mb)
                         slots_in_use[rank] -= 1
 
+        def run(op: Op, rank: int) -> None:
+            if tracer is None:
+                return run_op(op, rank)
+            kind = "forward" if op.kind == OpKind.F else "backward"
+            with tracer.rank_scope(rank), tracer.span(
+                    f"{kind} mb{op.microbatch} g{op.group}", rank=rank,
+                    microbatch=op.microbatch, group=op.group):
+                return run_op(op, rank)
+
         total_ops = sum(len(ops) for ops in schedule)
         executed = 0
         while executed < total_ops:
@@ -273,6 +297,9 @@ class PipelinedGPT:
                 raise ScheduleError("pipelined execution deadlocked")
 
         self.model.finish_grad_sync()
+        if tracer is not None and tracer.metrics is not None:
+            tracer.metrics.counter(
+                "repro_train_steps_total", "completed optimizer steps").inc()
         return PipelineStepResult(
             loss=float(np.mean(losses)),
             peak_stage_bytes=[t.peak_bytes() for t in trackers],
