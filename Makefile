@@ -1,13 +1,19 @@
 # Convenience targets for the reproduction.
 PY ?= python
 
-.PHONY: test bench chaos trace report examples all clean
+.PHONY: test bench bench-gate chaos trace report examples all clean
 
 test:
 	$(PY) -m pytest tests/
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Regression gate: re-run the trace presets, write BENCH_*.json, and
+# diff against benchmarks/baselines/ with per-metric tolerances
+# (docs/observability.md).  Exits non-zero naming any drifted metric.
+bench-gate:
+	$(PY) -m repro bench --output-dir . --check
 
 # Fault-injection suite plus seeded chaos campaigns with end-to-end
 # bitwise verification of recovery (see docs/resilience.md).

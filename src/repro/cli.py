@@ -24,6 +24,7 @@ from .memory_model import (
     total_activation_bytes,
     weight_and_optimizer_bytes,
 )
+from .observability.regress import DEFAULT_BASELINE_DIR, PRESET_NAMES
 from .observability.serialize import dumps_json
 from .perf_model import iteration_time
 from .planner import plan
@@ -64,15 +65,26 @@ def cmd_table(args) -> str:
 
 def cmd_figure(args) -> str:
     if args.number == 1:
+        if args.json:
+            return emit_json({"figure": 1, "series": experiments.figure1_data()})
         return experiments.figure1_report()
     if args.number == 7:
+        if args.json:
+            return emit_json({"figure": 7, "series": experiments.figure7_data()})
         return experiments.figure7_report()
     if args.number == 8:
+        if args.json:
+            return emit_json({"figure": 8, "series": experiments.figure8_data()})
         return experiments.figure8_report()
     if args.number == 9:
+        if args.json:
+            return emit_json({"figure": 9,
+                              "profile": experiments.figure9_data()})
         return experiments.figure9_report()
     if args.number == 10:
         from .pipeline_sim import figure10
+        if args.json:
+            return emit_json({"figure": 10, "timeline": figure10()})
         return figure10()
     raise SystemExit("reproducible figures: 1, 7, 8, 9, 10")
 
@@ -186,11 +198,15 @@ def cmd_simulate(args) -> str:
     return text
 
 
-def cmd_section5(_args) -> str:
+def cmd_section5(args) -> str:
+    if args.json:
+        return emit_json({"section": 5, "rows": experiments.section5_data()})
     return experiments.section5_report()
 
 
-def cmd_appendix_c(_args) -> str:
+def cmd_appendix_c(args) -> str:
+    if args.json:
+        return emit_json({"appendix": "C", "rows": experiments.appendix_c_data()})
     return experiments.appendix_c_report()
 
 
@@ -316,13 +332,9 @@ def cmd_trace(args) -> str:
     from .training.serialization import save_training_state
     from .training.trainer import PipelinedGPT
 
-    presets = {
-        "tiny": dict(num_layers=2, hidden_size=16, num_heads=2,
-                     seq_length=16, vocab_size=32, microbatches=2, batch=4),
-        "small": dict(num_layers=4, hidden_size=32, num_heads=4,
-                      seq_length=32, vocab_size=64, microbatches=4, batch=8),
-    }
-    preset = dict(presets[args.config])
+    from .observability.regress import TRACE_PRESETS
+
+    preset = dict(TRACE_PRESETS[args.config])
     microbatches = preset.pop("microbatches")
     batch = preset.pop("batch")
     model_cfg = ModelConfig(name=f"trace-{args.config}", **preset)
@@ -403,6 +415,82 @@ def cmd_trace(args) -> str:
     )
 
 
+def cmd_bench(args) -> str:
+    """Run the benchmark presets, write canonical ``BENCH_<preset>.json``
+    documents, and (with ``--check``) gate against committed baselines.
+
+    The documents are byte-identical across runs at the same seed, so a
+    ``--check`` failure means a real behavior change: slower attribution
+    mix, drifted MFU, different peak memory, lost goodput, or a
+    non-deterministic trace.  Regressions are listed per metric with
+    their deltas and the command exits non-zero.
+    """
+    from .observability.regress import (
+        check_against_baselines,
+        run_preset,
+        write_bench,
+    )
+
+    presets = args.presets or list(PRESET_NAMES)
+    docs = {}
+    lines = []
+    for preset in presets:
+        doc = run_preset(preset, seed_value=args.seed)
+        docs[preset] = doc
+        path = write_bench(doc, args.output_dir)
+        summary = f"wrote {path} (trace {doc['trace_hash'][:12]}"
+        if "utilization" in doc:
+            summary += f", mfu {doc['utilization']['mfu']:.3e}"
+        if "resilience" in doc:
+            summary += f", goodput {doc['resilience']['goodput']:.1%}"
+        lines.append(summary + ")")
+
+    if args.check:
+        failures = check_against_baselines(docs, args.baseline_dir)
+        if failures:
+            detail = []
+            for preset in sorted(failures):
+                detail.append(f"{preset}:")
+                detail.extend(f"  {r}" for r in failures[preset])
+            raise SystemExit(
+                "bench regression gate FAILED\n" + "\n".join(detail))
+        lines.append(f"bench gate OK: {len(docs)} preset(s) within "
+                     f"tolerance of {args.baseline_dir}")
+    return "\n".join(lines)
+
+
+def cmd_analyze(args) -> str:
+    """Offline critical-path attribution of an exported ``trace.json``."""
+    from .observability.analysis import attribute, load_trace
+
+    data = load_trace(args.trace)
+    att = attribute(data)
+    if args.json:
+        return emit_json({
+            "trace": args.trace,
+            "wall_time_s": att.wall,
+            "totals": att.totals,
+            "coverage_error": att.coverage_error,
+            "per_rank": {str(r.rank): r.buckets for r in att.ranks},
+        })
+    rows = []
+    for r in att.ranks:
+        rows.append([str(r.rank)] + [f"{1e3 * r.buckets[b]:.3f}"
+                                     for b in sorted(att.totals)])
+    text = format_table(
+        ["rank"] + sorted(att.totals), rows,
+        title=(f"Time attribution of {args.trace} "
+               f"(wall {1e3 * att.wall:.3f} ms per rank)"),
+    )
+    busiest = {b: v for b, v in att.totals.items() if v > 0}
+    parts = ", ".join(f"{b} {1e3 * v:.3f} ms"
+                      for b, v in sorted(busiest.items(),
+                                         key=lambda kv: -kv[1]))
+    text += f"\ntotals across ranks: {parts}"
+    text += f"\ncoverage error: {att.coverage_error:.2e} (buckets vs wall)"
+    return text
+
+
 def cmd_report(args) -> str:
     from .reporting.report import full_report
     text = full_report()
@@ -433,6 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("figure", help="regenerate a paper figure (1, 7, 8, 9 or 10)")
     p.add_argument("number", type=int)
+    add_json_flag(p)
     p.set_defaults(fn=cmd_figure)
 
     p = sub.add_parser("memory-report", help="activation + weight memory for a config")
@@ -465,9 +554,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("section5", help="Section 5 selective-recompute claims")
+    add_json_flag(p)
     p.set_defaults(fn=cmd_section5)
 
     p = sub.add_parser("appendix-c", help="microbatch-level recomputation MFU")
+    add_json_flag(p)
     p.set_defaults(fn=cmd_appendix_c)
 
     p = sub.add_parser("sweep", help="parameter sweeps (CSV): seq, tp, fit, overhead")
@@ -498,6 +589,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output-dir", default="trace-out")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "bench", help="benchmark presets -> BENCH_*.json; --check gates "
+                      "against committed baselines")
+    p.add_argument("--preset", dest="presets", action="append",
+                   choices=list(PRESET_NAMES), default=None,
+                   help="preset to run (repeatable; default: all)")
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--output-dir", default=".",
+                   help="where BENCH_<preset>.json files are written")
+    p.add_argument("--baseline-dir", default=DEFAULT_BASELINE_DIR,
+                   help="committed baselines for --check")
+    p.add_argument("--check", action="store_true",
+                   help="diff fresh documents against the baselines; "
+                        "exit non-zero on any out-of-tolerance metric")
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "analyze", help="offline time attribution of an exported trace.json")
+    p.add_argument("trace", help="path to a trace.json written by `repro trace`")
+    add_json_flag(p)
+    p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("report", help="regenerate every table/figure in one document")
     p.add_argument("--output", default=None, help="write to a file instead of stdout")

@@ -326,20 +326,36 @@ def figure9_report(model_name: str = "530B") -> str:
 # Section 5 claims
 # ---------------------------------------------------------------------------
 
-def section5_report() -> str:
-    rows = []
+def section5_data() -> List[dict]:
+    out = []
     for name, paper_factor, paper_saving, paper_overhead in (
         ("175B", 80, 0.70, 0.027), ("530B", 64, 0.65, 0.016),
     ):
         model = PAPER_CONFIGS[name].model
         factor = attention_memory_factor(model)
-        saving = factor / (34 + factor)
-        overhead = selective_recompute_flops_overhead(model)
-        ratio = hardware_to_model_ratio(model)
-        rows.append((name, f"{factor:.0f}", str(paper_factor),
-                     pct(saving, 0), pct(paper_saving, 0),
-                     pct(overhead), pct(paper_overhead),
-                     f"{ratio:.4f}"))
+        out.append({
+            "model": name,
+            "attention_memory_factor": factor,
+            "paper_factor": paper_factor,
+            "memory_saved_fraction": factor / (34 + factor),
+            "paper_memory_saved": paper_saving,
+            "flops_overhead": selective_recompute_flops_overhead(model),
+            "paper_flops_overhead": paper_overhead,
+            "hardware_to_model_ratio": hardware_to_model_ratio(model),
+        })
+    return out
+
+
+def section5_report() -> str:
+    rows = []
+    for r in section5_data():
+        rows.append((r["model"], f"{r['attention_memory_factor']:.0f}",
+                     str(r["paper_factor"]),
+                     pct(r["memory_saved_fraction"], 0),
+                     pct(r["paper_memory_saved"], 0),
+                     pct(r["flops_overhead"]),
+                     pct(r["paper_flops_overhead"]),
+                     f"{r['hardware_to_model_ratio']:.4f}"))
     return format_table(
         ["model", "5as/h", "paper", "memory saved", "paper", "FLOPs overhead",
          "paper", "hw/model ratio"],

@@ -8,7 +8,9 @@ from .activations import (
     memory_fraction_of_tp_baseline,
     per_layer_activation_bytes,
     per_layer_breakdown,
+    per_layer_term_groups,
     table2,
+    term_group_categories,
     total_activation_bytes,
 )
 from .pipeline import (
@@ -36,6 +38,7 @@ __all__ = [
     "interleave_memory_factor", "memory_fraction_of_tp_baseline",
     "microbatch_recompute_window", "parameter_count", "parameters_per_rank",
     "per_layer_activation_bytes", "per_layer_breakdown",
-    "pipeline_memory_profile", "stage_activation_bytes", "table2",
+    "per_layer_term_groups", "pipeline_memory_profile",
+    "stage_activation_bytes", "table2", "term_group_categories",
     "total_activation_bytes", "weight_and_optimizer_bytes",
 ]

@@ -93,6 +93,77 @@ def per_layer_breakdown(
     }
 
 
+#: How Equation 1-4 constituents regroup to the granularity the
+#: instrumented simulator's :class:`~repro.tensor.MemoryTracker` save-site
+#: categories can observe.  Two collisions force grouping: the tracker's
+#: single ``dropout_mask`` category covers the attention-core mask and
+#: both residual-dropout masks, and ``attn_core`` is itself 4/5 data
+#: (softmax output ``2as^2b/t`` + dropout output ``2as^2b/t``) and 1/5
+#: mask (``as^2b/t``), so the mask fifth moves into the mask group.
+ATTN_CORE_MASK_FRACTION = 1.0 / 5.0
+
+
+def per_layer_term_groups(
+    model: ModelConfig,
+    microbatch_size: int,
+    tensor_parallel: int = 1,
+    sequence_parallel: bool = False,
+    recompute: RecomputeLike = Recompute.NONE,
+) -> Dict[str, float]:
+    """Analytic per-layer bytes per *observable* term group.
+
+    Same total as :func:`per_layer_breakdown`, regrouped so each group
+    corresponds exactly to a set of measured tracker categories
+    (:func:`term_group_categories`) — the basis of the per-term drift
+    check in :mod:`repro.observability.analysis`.
+    """
+    recompute = Recompute(recompute)
+    bd = per_layer_breakdown(model, microbatch_size, tensor_parallel,
+                             sequence_parallel, recompute)
+    if recompute in (Recompute.FULL, Recompute.FULL_SHARDED):
+        return {"checkpoint_input": bd["checkpoint_input"]}
+    core_mask = ATTN_CORE_MASK_FRACTION * bd["attn_core"]
+    return {
+        "layernorm_inputs": bd["layernorm_inputs"],
+        "attn_qkv_input": bd["attn_qkv_input"],
+        "attn_qkv_and_core": (bd["attn_qkv_outputs"]
+                              + bd["attn_core"] - core_mask),
+        "attn_proj_input": bd["attn_proj_input"],
+        "dropout_masks": (bd["attn_dropout_mask"] + bd["mlp_dropout_mask"]
+                          + core_mask),
+        "mlp_fc1_input": bd["mlp_fc1_input"],
+        "mlp_gelu_input": bd["mlp_gelu_input"],
+        "mlp_fc2_input": bd["mlp_fc2_input"],
+    }
+
+
+def term_group_categories(recompute: RecomputeLike) -> Dict[str, tuple]:
+    """Which measured tracker categories make up each term group.
+
+    Under selective recomputation the Q/K/V tensors are charged by the
+    checkpointed attention core as ``checkpoint_input`` ("selective:
+    checkpoint inputs"), so that category joins the attention group;
+    under full recomputation ``checkpoint_input`` is the whole layer
+    input and is the only group.
+    """
+    recompute = Recompute(recompute)
+    if recompute in (Recompute.FULL, Recompute.FULL_SHARDED):
+        return {"checkpoint_input": ("checkpoint_input",)}
+    attention = ("attn_qk", "attn_context", "softmax_output")
+    if recompute == Recompute.SELECTIVE:
+        attention = attention + ("checkpoint_input",)
+    return {
+        "layernorm_inputs": ("layernorm_input",),
+        "attn_qkv_input": ("attn_qkv_input",),
+        "attn_qkv_and_core": attention,
+        "attn_proj_input": ("attn_proj_input",),
+        "dropout_masks": ("dropout_mask",),
+        "mlp_fc1_input": ("mlp_fc1_input",),
+        "mlp_gelu_input": ("gelu_input",),
+        "mlp_fc2_input": ("mlp_fc2_input",),
+    }
+
+
 def interleave_memory_factor(pipeline_parallel: int, interleave_stages: int) -> float:
     """The ``(1 + (p-1)/(pm))`` first-stage multiplier of Section 4.2.3."""
     p, m = pipeline_parallel, interleave_stages

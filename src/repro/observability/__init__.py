@@ -13,10 +13,36 @@ reproducible:
   trace exporter (one pid per subsystem, one tid per rank, counter
   tracks for activation bytes) plus the schema validator.
 
+Two offline consumers sit on top:
+
+* :mod:`~repro.observability.analysis` — critical-path time attribution,
+  MFU/HFU reconciliation against :mod:`repro.perf_model`, and per-term
+  memory drift against :mod:`repro.memory_model`;
+* :mod:`~repro.observability.regress` — the ``repro bench`` regression
+  gate: canonical ``BENCH_<preset>.json`` documents diffed against
+  committed baselines with per-metric tolerances.
+
 Entry point: ``python -m repro trace --config tiny`` writes both
-artifacts for a small instrumented run.  See ``docs/observability.md``.
+artifacts for a small instrumented run; ``python -m repro bench``
+runs the regression presets.  See ``docs/observability.md``.
 """
 
+from .analysis import (
+    Attribution,
+    CriticalPath,
+    MemoryTermDrift,
+    RankAttribution,
+    TraceData,
+    UtilizationCrosscheck,
+    attribute,
+    from_chrome_events,
+    from_tracer,
+    load_trace,
+    memory_drift_report,
+    memory_term_drift,
+    schedule_critical_path,
+    utilization_crosscheck,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .perfetto import (
     export_trace,
@@ -25,6 +51,13 @@ from .perfetto import (
     tracer_events,
     validate_trace_events,
     validate_trace_file,
+)
+from .regress import (
+    Regression,
+    check_against_baselines,
+    compare,
+    run_preset,
+    write_bench,
 )
 from .serialize import dump_json, dumps_json, to_jsonable
 from .tracer import (
@@ -38,9 +71,14 @@ from .tracer import (
 )
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "InstantEvent", "MetricsRegistry",
-    "SpanEvent", "Tracer", "active_tracer", "dump_json", "dumps_json",
-    "export_trace", "install_tracer", "merged_trace", "rehome_events",
-    "span_or_null", "to_jsonable", "trace_scope", "tracer_events",
-    "validate_trace_events", "validate_trace_file",
+    "Attribution", "Counter", "CriticalPath", "Gauge", "Histogram",
+    "InstantEvent", "MemoryTermDrift", "MetricsRegistry", "RankAttribution",
+    "Regression", "SpanEvent", "TraceData", "Tracer",
+    "UtilizationCrosscheck", "active_tracer", "attribute",
+    "check_against_baselines", "compare", "dump_json", "dumps_json",
+    "export_trace", "from_chrome_events", "from_tracer", "install_tracer",
+    "load_trace", "memory_drift_report", "memory_term_drift", "merged_trace",
+    "rehome_events", "run_preset", "schedule_critical_path", "span_or_null",
+    "to_jsonable", "trace_scope", "tracer_events", "utilization_crosscheck",
+    "validate_trace_events", "validate_trace_file", "write_bench",
 ]

@@ -27,6 +27,12 @@ LabelKey = Tuple[Tuple[str, str], ...]
 #: model's microsecond-to-millisecond collective times.
 DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
 
+#: Quantiles estimated from the cumulative buckets for export (p50,
+#: p95, p99).  Estimates, not exact order statistics: linear
+#: interpolation within the containing bucket, like PromQL's
+#: ``histogram_quantile``.
+EXPORT_QUANTILES = (0.5, 0.95, 0.99)
+
 
 def _label_key(labels: Dict[str, str]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -115,6 +121,32 @@ class Histogram:
     def sum(self, **labels: str) -> float:
         return self._sums.get(_label_key(labels), 0.0)
 
+    def quantile(self, q: float, **labels: str) -> float:
+        """Estimate the ``q``-quantile from the cumulative buckets.
+
+        Linear interpolation inside the containing bucket (PromQL's
+        ``histogram_quantile`` convention); observations above the
+        highest finite bound clamp to that bound, so the estimate never
+        invents a value outside the bucket layout.
+        """
+        return self._quantile(_label_key(labels), q)
+
+    def _quantile(self, key: LabelKey, q: float) -> float:
+        total = self._totals.get(key, 0)
+        if total == 0:
+            return 0.0
+        target = q * total
+        counts = self._counts[key]
+        for i, (bound, cum) in enumerate(zip(self.buckets, counts)):
+            if cum >= target:
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                below = counts[i - 1] if i > 0 else 0
+                width = cum - below
+                if width <= 0:
+                    return bound
+                return lower + (bound - lower) * (target - below) / width
+        return self.buckets[-1]
+
     def samples(self) -> Iterable[Tuple[str, LabelKey, float]]:
         for key in sorted(self._totals):
             for bound, count in zip(self.buckets, self._counts[key]):
@@ -123,6 +155,9 @@ class Histogram:
             yield f"{self.name}_bucket", key + (("le", "+Inf"),), self._totals[key]
             yield f"{self.name}_sum", key, self._sums[key]
             yield f"{self.name}_count", key, self._totals[key]
+            for q in EXPORT_QUANTILES:
+                yield (self.name, key + (("quantile", _format_value(q)),),
+                       self._quantile(key, q))
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         return {
@@ -131,6 +166,8 @@ class Histogram:
                 "sum": self._sums[key],
                 "buckets": {_format_value(b): c for b, c in
                             zip(self.buckets, self._counts[key])},
+                "quantiles": {_format_value(q): self._quantile(key, q)
+                              for q in EXPORT_QUANTILES},
             }
             for key in sorted(self._totals)
         }

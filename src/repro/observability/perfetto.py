@@ -68,10 +68,16 @@ def tracer_events(tracer: Tracer, time_scale: float = TIME_SCALE) -> List[dict]:
     for span in tracer.spans:
         pid = _pid_for(span.subsystem)
         tids_by_subsystem.setdefault(span.subsystem, set()).add(span.rank)
+        args = dict(to_jsonable(span.args))
+        if span.id >= 0:
+            # Stream ids: survive the round-trip through JSON so the
+            # offline analysis can rebuild the span hierarchy.
+            args["span"] = span.id
+            args["parent"] = span.parent
         out.append({
             "name": span.name, "cat": span.subsystem, "ph": "X",
             "ts": span.ts * time_scale, "dur": span.dur * time_scale,
-            "pid": pid, "tid": span.rank, "args": to_jsonable(span.args),
+            "pid": pid, "tid": span.rank, "args": args,
         })
     for inst in tracer.instants:
         pid = _pid_for(inst.subsystem)
@@ -156,13 +162,20 @@ def export_trace(tracer: Tracer, path: str,
     return len(doc["traceEvents"])
 
 
+#: Phase letters this exporter (and the rehomed pipeline-schedule trace)
+#: can legitimately produce.  Anything else is a schema violation.
+KNOWN_PHASES = frozenset({"M", "X", "i", "I", "C", "B", "E"})
+
+
 def validate_trace_events(events: List[dict]) -> None:
     """Assert the Perfetto-loadable schema contract; raises ``ValueError``.
 
-    Checks, per the trace tests' requirements: every duration event has
-    ``ph/ts/dur/pid/tid`` with non-negative durations, ``ts`` is monotone
-    non-decreasing within each ``(pid, tid)`` track, and every pid that
-    emits events also carries ``process_name`` metadata.
+    Checks, per the trace tests' requirements: every event has a known
+    ``ph``, every non-metadata event has ``ts/pid/tid`` with integer
+    non-negative pid/tid and non-negative ts, duration events carry
+    non-negative ``dur``, ``ts`` is monotone non-decreasing within each
+    ``(pid, tid)`` track, and every pid that emits events also carries
+    ``process_name`` metadata.
     """
     last_ts: Dict[tuple, float] = {}
     named_pids = set()
@@ -171,6 +184,8 @@ def validate_trace_events(events: List[dict]) -> None:
         ph = event.get("ph")
         if ph is None:
             raise ValueError(f"event missing 'ph': {event!r}")
+        if ph not in KNOWN_PHASES:
+            raise ValueError(f"unknown phase {ph!r}: {event!r}")
         if ph == "M":
             if event.get("name") == "process_name":
                 named_pids.add(event["pid"])
@@ -178,6 +193,10 @@ def validate_trace_events(events: List[dict]) -> None:
         for key in ("ts", "pid", "tid"):
             if key not in event:
                 raise ValueError(f"event missing {key!r}: {event!r}")
+        for key in ("pid", "tid"):
+            value = event[key]
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ValueError(f"bad {key} {value!r} (want int >= 0): {event!r}")
         used_pids.add(event["pid"])
         if event["ts"] < 0:
             raise ValueError(f"negative ts: {event!r}")
@@ -186,6 +205,7 @@ def validate_trace_events(events: List[dict]) -> None:
                 raise ValueError(f"duration event missing 'dur': {event!r}")
             if event["dur"] < 0:
                 raise ValueError(f"negative dur: {event!r}")
+        if ph in ("X", "i", "I"):
             track = (event["pid"], event["tid"])
             if event["ts"] < last_ts.get(track, 0.0):
                 raise ValueError(

@@ -1,0 +1,408 @@
+"""Benchmark regression gate over the traced presets.
+
+``repro bench`` runs the deterministic trace presets (``tiny`` and
+``small`` pipelined runs, plus ``chaos``, a fault-injected data-parallel
+segment), pushes each trace through :mod:`repro.observability.analysis`,
+and writes one canonical ``BENCH_<preset>.json`` per preset: the
+attribution breakdown, MFU/HFU with their model deltas, peak memory,
+per-term memory drift, goodput and a SHA-256 hash of the merged trace.
+Because the simulated clock is deterministic, the documents are
+byte-identical across runs at the same seed.
+
+``repro bench --check`` re-runs the presets and diffs the fresh
+documents against the committed baselines under
+``benchmarks/baselines/`` with per-metric tolerances (exact for hashes
+and byte counts, relative for times and utilization), exiting non-zero
+and naming every out-of-tolerance metric.  This is the CI gate: a PR
+that silently regresses goodput, shifts the attribution mix, or breaks
+trace determinism fails the build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..layers.transformer import Recompute
+from .serialize import dumps_json, to_jsonable
+
+#: Bump when the BENCH document layout changes incompatibly; --check
+#: refuses to compare documents with mismatched schema versions.
+SCHEMA_VERSION = 1
+
+PRESET_NAMES = ("tiny", "small", "chaos")
+
+DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
+
+#: Model/run shapes shared with ``repro trace``.  tp = pp = 2 so both
+#: tensor- and pipeline-parallel effects show up in the attribution.
+TRACE_PRESETS: Dict[str, dict] = {
+    "tiny": dict(num_layers=2, hidden_size=16, num_heads=2,
+                 seq_length=16, vocab_size=32, microbatches=2, batch=4),
+    "small": dict(num_layers=4, hidden_size=32, num_heads=4,
+                  seq_length=32, vocab_size=64, microbatches=4, batch=8),
+}
+
+#: Per-metric tolerances for --check, matched by longest dotted-key
+#: prefix (first hit wins).  ``("exact", 0)`` fails on any difference;
+#: ``("abs", x)`` on |delta| > x; ``("rel", x)`` on relative change > x.
+TOLERANCES: Tuple[Tuple[str, Tuple[str, float]], ...] = (
+    ("schema_version", ("exact", 0)),
+    ("preset", ("exact", 0)),
+    ("seed", ("exact", 0)),
+    ("steps", ("exact", 0)),
+    ("config.", ("exact", 0)),
+    ("trace_hash", ("exact", 0)),
+    ("counts.", ("exact", 0)),
+    ("memory.peak_bytes", ("exact", 0)),
+    ("memory.drift", ("abs", 1.0)),
+    ("utilization.mfu_delta", ("abs", 1e-3)),
+    ("utilization.hfu_delta", ("abs", 1e-3)),
+    ("utilization.", ("rel", 0.02)),
+    ("attribution.coverage_error", ("abs", 1e-6)),
+    ("attribution.", ("rel", 0.05)),
+    ("per_rank.", ("rel", 0.05)),
+    ("critical_path.", ("rel", 0.05)),
+    ("resilience.goodput", ("abs", 0.05)),
+    ("resilience.", ("exact", 0)),
+    ("wall_time_s", ("rel", 0.05)),
+    ("iteration_time_s", ("rel", 0.05)),
+    ("", ("rel", 0.02)),  # default
+)
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One out-of-tolerance metric found by :func:`compare`."""
+
+    key: str
+    baseline: object
+    current: object
+    tolerance: Tuple[str, float]
+
+    def __str__(self) -> str:
+        kind, bound = self.tolerance
+        if isinstance(self.baseline, (int, float)) and \
+                isinstance(self.current, (int, float)):
+            delta = self.current - self.baseline
+            return (f"{self.key}: {self.baseline!r} -> {self.current!r} "
+                    f"(delta {delta:+.6g}, tolerance {kind} {bound:g})")
+        return (f"{self.key}: {self.baseline!r} -> {self.current!r} "
+                f"(tolerance {kind} {bound:g})")
+
+
+def trace_hash(tracer, extra_events: Optional[List[dict]] = None) -> str:
+    """SHA-256 of the canonical merged Chrome trace — the determinism
+    fingerprint: any change to event content, order or timing shows."""
+    from .perfetto import merged_trace
+
+    doc = merged_trace(tracer, extra_events=extra_events)
+    payload = json.dumps(to_jsonable(doc), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _preset_config(preset: str):
+    from ..config import (ExperimentConfig, ModelConfig, ParallelConfig,
+                          TrainingConfig)
+
+    shape = dict(TRACE_PRESETS[preset])
+    microbatches = shape.pop("microbatches")
+    batch = shape.pop("batch")
+    model_cfg = ModelConfig(name=f"trace-{preset}", **shape)
+    config = ExperimentConfig(
+        model=model_cfg,
+        parallel=ParallelConfig(tensor_parallel=2, pipeline_parallel=2),
+        training=TrainingConfig(micro_batch_size=batch // microbatches,
+                                global_batch_size=batch),
+    )
+    return model_cfg, config, microbatches, batch
+
+
+def _run_pipelined_preset(preset: str, seed_value: int, steps: int) -> dict:
+    """Trace a pipelined preset run and reduce it to a BENCH document."""
+    from ..parallel.transformer import ParallelGPTModel
+    from ..tensor import MemoryTracker, seed
+    from ..training.data import UniformTokens
+    from ..training.optimizer import Adam
+    from ..training.trainer import PipelinedGPT
+    from .analysis import (attribute, from_tracer, memory_drift_report,
+                           schedule_critical_path, utilization_crosscheck)
+    from .tracer import Tracer, trace_scope
+
+    model_cfg, config, microbatches, batch = _preset_config(preset)
+    tp, pp = 2, 2
+    recompute = Recompute.FULL
+
+    tracer = Tracer()
+    model = ParallelGPTModel(model_cfg, tensor_parallel=tp,
+                             attention_dropout=0.0, hidden_dropout=0.0,
+                             recompute=recompute)
+    pipe = PipelinedGPT(model, pipeline_parallel=pp)
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    trackers = [MemoryTracker() for _ in range(pp)]
+    for stage, tracker in enumerate(trackers):
+        tracer.watch_tracker(tracker, f"stage{stage}")
+
+    seed(seed_value)
+    data = UniformTokens(model_cfg.vocab_size, model_cfg.seq_length,
+                         seed=seed_value + 1)
+    with trace_scope(tracer):
+        for _ in range(steps):
+            ids, targets = data.batch(batch)
+            optimizer.zero_grad()
+            pipe.train_step(ids, targets, num_microbatches=microbatches,
+                            trackers=trackers)
+            optimizer.step()
+
+    data_ = from_tracer(tracer)
+    att = attribute(data_)
+    xc = utilization_crosscheck(data_, config, num_iterations=steps,
+                                recompute=recompute)
+    cp = schedule_critical_path(data_, num_groups=pp)
+    drifts = memory_drift_report(model_cfg, config.training.micro_batch_size,
+                                 tp)
+
+    doc = _base_doc(preset, seed_value, steps, model_cfg, tp, pp)
+    doc["wall_time_s"] = data_.wall
+    doc["iteration_time_s"] = xc.iteration_time
+    doc["attribution"] = {
+        "totals": att.totals,
+        "coverage_error": att.coverage_error,
+    }
+    doc["per_rank"] = {
+        str(r.rank): r.buckets for r in att.ranks
+    }
+    doc["utilization"] = {
+        "mfu": xc.mfu,
+        "hfu": xc.hfu,
+        "model_mfu": xc.model_mfu,
+        "model_hfu": xc.model_hfu,
+        "mfu_delta": xc.mfu_delta,
+        "hfu_delta": xc.hfu_delta,
+        "traced_model_flops": xc.traced_model_flops,
+        "traced_hardware_flops": xc.traced_hardware_flops,
+    }
+    doc["memory"] = {
+        "peak_bytes": {f"stage{i}": trackers[i].peak_bytes()
+                       for i in range(pp)},
+        "drift": {
+            _drift_key(d): d.drift for d in drifts
+        },
+        "drift_total_bytes": sum(d.total_drift for d in drifts),
+    }
+    doc["critical_path"] = {
+        "nodes": len(cp.nodes),
+        "span_s": cp.span,
+        "busy_s": cp.busy,
+        "time_by_kind": cp.time_by_kind,
+    } if cp is not None else {}
+    doc["counts"] = {
+        "spans": len(tracer.spans),
+        "instants": len(tracer.instants),
+        "collectives": sum(1 for s in tracer.spans if s.subsystem == "comm"),
+    }
+    doc["trace_hash"] = trace_hash(tracer)
+    return doc
+
+
+def _run_chaos_preset(seed_value: int, steps: int) -> dict:
+    """Trace a fault-injected data-parallel segment (the resilience
+    path): recovery stalls must land in the attribution and goodput in
+    the document, so a PR degrading recovery fails the gate."""
+    from ..config import ModelConfig
+    from ..parallel.transformer import ParallelGPTModel
+    from ..resilience import (FaultPlan, RecoveryPolicy, ResilientTrainer,
+                              make_step_batches)
+    from ..tensor import seed
+    from ..training import DataParallelTrainer
+    from .analysis import attribute, from_tracer
+    from .tracer import Tracer, trace_scope
+    import tempfile
+
+    shape = dict(TRACE_PRESETS["tiny"])
+    shape.pop("microbatches")
+    shape.pop("batch")
+    model_cfg = ModelConfig(name="trace-chaos", **shape)
+    tp, dp = 2, 2
+
+    tracer = Tracer()
+    seed(seed_value)
+
+    def factory():
+        return ParallelGPTModel(model_cfg, tensor_parallel=tp,
+                                attention_dropout=0.0, hidden_dropout=0.0)
+
+    batch_fn = make_step_batches(model_cfg.vocab_size, model_cfg.seq_length,
+                                 batch_size=4, seed=seed_value)
+    fault_plan = FaultPlan.random(seed=seed_value, num_steps=steps,
+                                  fault_rate=0.5, world_size=dp)
+    dp_trainer = DataParallelTrainer(factory, data_parallel=dp, lr=1e-2)
+    fd, ckpt = tempfile.mkstemp(suffix=".npz")
+    os.close(fd)
+    try:
+        with trace_scope(tracer):
+            result = ResilientTrainer(
+                dp_trainer, batch_fn, ckpt, plan=fault_plan,
+                policy=RecoveryPolicy(checkpoint_interval=2)).run(steps)
+    finally:
+        os.remove(ckpt)
+
+    report = result.report
+    data_ = from_tracer(tracer)
+    att = attribute(data_)
+
+    doc = _base_doc("chaos", seed_value, steps, model_cfg, tp, 1)
+    doc["config"]["data_parallel"] = dp
+    doc["wall_time_s"] = data_.wall
+    doc["attribution"] = {
+        "totals": att.totals,
+        "coverage_error": att.coverage_error,
+    }
+    doc["per_rank"] = {str(r.rank): r.buckets for r in att.ranks}
+    doc["resilience"] = {
+        "goodput": report.goodput(),
+        "faults": len(report.faults),
+        "recoveries": len(report.recoveries),
+        "steps_completed": report.steps_completed,
+    }
+    doc["counts"] = {
+        "spans": len(tracer.spans),
+        "instants": len(tracer.instants),
+        "collectives": sum(1 for s in tracer.spans if s.subsystem == "comm"),
+    }
+    doc["trace_hash"] = trace_hash(tracer)
+    return doc
+
+
+def _base_doc(preset: str, seed_value: int, steps: int, model_cfg,
+              tp: int, pp: int) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "preset": preset,
+        "seed": seed_value,
+        "steps": steps,
+        "config": {
+            "num_layers": model_cfg.num_layers,
+            "hidden_size": model_cfg.hidden_size,
+            "num_heads": model_cfg.num_heads,
+            "seq_length": model_cfg.seq_length,
+            "vocab_size": model_cfg.vocab_size,
+            "tensor_parallel": tp,
+            "pipeline_parallel": pp,
+        },
+    }
+
+
+def _drift_key(d) -> str:
+    sp = "sp" if d.sequence_parallel else "nosp"
+    return f"{sp}+{d.recompute.value}"
+
+
+def run_preset(preset: str, seed_value: int = 1234, steps: int = 2) -> dict:
+    """Run one preset and return its canonical BENCH document."""
+    if preset == "chaos":
+        return _run_chaos_preset(seed_value, steps)
+    if preset not in TRACE_PRESETS:
+        raise ValueError(f"unknown preset {preset!r}; "
+                         f"expected one of {PRESET_NAMES}")
+    return _run_pipelined_preset(preset, seed_value, steps)
+
+
+def bench_filename(preset: str) -> str:
+    return f"BENCH_{preset}.json"
+
+
+def write_bench(doc: dict, directory: str) -> str:
+    """Write one canonical BENCH document; byte-identical per (preset,
+    seed) because every input is on the simulated clock."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, bench_filename(doc["preset"]))
+    with open(path, "w") as fh:
+        fh.write(dumps_json(doc, indent=1))
+        fh.write("\n")
+    return path
+
+
+def load_bench(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def flatten(doc: dict, prefix: str = "") -> Dict[str, object]:
+    """Flatten a BENCH document to dotted scalar keys for comparison."""
+    out: Dict[str, object] = {}
+    for key, value in doc.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(flatten(value, prefix=f"{dotted}."))
+        else:
+            out[dotted] = value
+    return out
+
+
+def tolerance_for(key: str) -> Tuple[str, float]:
+    for prefix, tol in TOLERANCES:
+        if key.startswith(prefix):
+            return tol
+    return ("rel", 0.02)
+
+
+def _within(baseline, current, tol: Tuple[str, float]) -> bool:
+    kind, bound = tol
+    if kind == "exact":
+        return baseline == current
+    if not isinstance(baseline, (int, float)) or \
+            not isinstance(current, (int, float)) or \
+            isinstance(baseline, bool) or isinstance(current, bool):
+        return baseline == current
+    delta = abs(current - baseline)
+    if kind == "abs":
+        return delta <= bound
+    # relative, with an absolute floor so exact-zero baselines (e.g. an
+    # attribution bucket the preset never exercises) tolerate float dust
+    return delta <= max(abs(baseline) * bound, 1e-12)
+
+
+def compare(baseline: dict, current: dict) -> List[Regression]:
+    """Diff two BENCH documents; returns every out-of-tolerance metric.
+
+    Keys missing from either side are regressions too — a disappeared
+    metric is as suspicious as a drifted one.
+    """
+    flat_base = flatten(baseline)
+    flat_cur = flatten(current)
+    regressions: List[Regression] = []
+    for key in sorted(set(flat_base) | set(flat_cur)):
+        tol = tolerance_for(key)
+        if key not in flat_base:
+            regressions.append(Regression(key, None, flat_cur[key], tol))
+        elif key not in flat_cur:
+            regressions.append(Regression(key, flat_base[key], None, tol))
+        elif not _within(flat_base[key], flat_cur[key], tol):
+            regressions.append(Regression(key, flat_base[key],
+                                          flat_cur[key], tol))
+    return regressions
+
+
+def check_against_baselines(docs: Dict[str, dict],
+                            baseline_dir: str) -> Dict[str, List[Regression]]:
+    """Compare fresh documents against committed baselines, per preset.
+
+    A missing baseline file is reported as a single synthetic regression
+    so a new preset cannot silently skip the gate.
+    """
+    failures: Dict[str, List[Regression]] = {}
+    for preset, doc in docs.items():
+        path = os.path.join(baseline_dir, bench_filename(preset))
+        if not os.path.exists(path):
+            failures[preset] = [Regression(
+                "baseline", path, None, ("exact", 0))]
+            continue
+        regressions = compare(load_bench(path), doc)
+        if regressions:
+            failures[preset] = regressions
+    return failures

@@ -43,7 +43,13 @@ _WIRE_BYTES = 2
 
 @dataclass(frozen=True)
 class SpanEvent:
-    """One completed interval: ``[ts, ts + dur)`` of simulated seconds."""
+    """One completed interval: ``[ts, ts + dur)`` of simulated seconds.
+
+    ``id`` is a stable per-tracer span number (emission order of
+    ``begin_span``/direct pricing) and ``parent`` the id of the
+    enclosing open span (``-1`` at top level) — the stream ids the
+    offline critical-path analysis rebuilds the hierarchy from.
+    """
 
     name: str
     subsystem: str            # Perfetto process ("train", "comm", ...)
@@ -51,6 +57,8 @@ class SpanEvent:
     ts: float
     dur: float
     args: Dict[str, object] = field(default_factory=dict)
+    id: int = -1
+    parent: int = -1
 
 
 @dataclass(frozen=True)
@@ -79,6 +87,8 @@ class Tracer:
         self.current_rank = 0
         self._stack: List[tuple] = []
         self._trackers: Dict[str, object] = {}
+        self._next_span_id = 0
+        self._pending_comm: Optional[OpRecord] = None
 
     # -- clock -------------------------------------------------------------
     def advance(self, seconds: float) -> None:
@@ -87,15 +97,25 @@ class Tracer:
             self.clock_s += seconds
 
     # -- spans -------------------------------------------------------------
+    def _new_span_id(self) -> int:
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        return span_id
+
+    def _parent_id(self) -> int:
+        return self._stack[-1][5] if self._stack else -1
+
     def begin_span(self, name: str, subsystem: str = "train",
                    rank: Optional[int] = None, **args: object) -> None:
         r = self.current_rank if rank is None else rank
-        self._stack.append((name, subsystem, r, self.clock_s, args))
+        self._stack.append((name, subsystem, r, self.clock_s, args,
+                            self._new_span_id()))
 
     def end_span(self) -> SpanEvent:
-        name, subsystem, rank, start, args = self._stack.pop()
+        name, subsystem, rank, start, args, span_id = self._stack.pop()
         event = SpanEvent(name=name, subsystem=subsystem, rank=rank, ts=start,
-                          dur=self.clock_s - start, args=dict(args))
+                          dur=self.clock_s - start, args=dict(args),
+                          id=span_id, parent=self._parent_id())
         self.spans.append(event)
         return event
 
@@ -138,7 +158,20 @@ class Tracer:
 
     # -- instrumentation hooks --------------------------------------------
     def on_collective(self, op: str, shards: Sequence) -> None:
-        """Price and record one simulated collective (data-plane hook)."""
+        """Price and record one simulated collective (data-plane hook).
+
+        The data plane does not know whether the surrounding operator
+        *could* overlap this collective with compute — that marker lives
+        on the autograd-layer :class:`OpRecord` (``overlapped=True`` in
+        :mod:`repro.parallel.mappings`).  Every overlapped operator logs
+        its record immediately before issuing the collective, so a
+        pending overlapped record whose op matches annotates this span;
+        the annotation is what splits exposed from (potentially)
+        overlapped communication in the trace analysis.
+        """
+        pending, self._pending_comm = self._pending_comm, None
+        overlapped = (pending is not None and pending.comm is not None
+                      and pending.comm.op == op)
         n = len(shards)
         nbytes = bk.size_of(shards[0]) * _WIRE_BYTES
         if op == "all_gather":
@@ -146,10 +179,15 @@ class Tracer:
         dur = self.cost.time(CommInfo(op, nbytes, n)) if n > 1 else 0.0
         start = self.clock_s
         self.clock_s += dur
+        args: Dict[str, object] = {"bytes": nbytes, "world": n,
+                                   "phase": ctx().phase.value,
+                                   "overlapped": overlapped}
+        if overlapped:
+            args["logical"] = pending.name
         self.spans.append(SpanEvent(
             name=op, subsystem="comm", rank=self.current_rank, ts=start,
-            dur=dur, args={"bytes": nbytes, "world": n,
-                           "phase": ctx().phase.value}))
+            dur=dur, args=args, id=self._new_span_id(),
+            parent=self._parent_id()))
         if self.metrics is not None:
             self.metrics.counter(
                 "repro_collectives_total",
@@ -176,7 +214,8 @@ class Tracer:
             self.spans.append(SpanEvent(
                 name=record.name, subsystem="compute", rank=self.current_rank,
                 ts=start, dur=dur,
-                args={"flops": record.flops, "phase": record.phase.value}))
+                args={"flops": record.flops, "phase": record.phase.value},
+                id=self._new_span_id(), parent=self._parent_id()))
         elif record.kind == OpKind.ELEMENTWISE:
             dur = (record.bytes_moved / self.gpu.hbm_bandwidth
                    + self.gpu.kernel_launch_overhead) if record.bytes_moved > 0 else 0.0
@@ -188,7 +227,16 @@ class Tracer:
             self.spans.append(SpanEvent(
                 name=record.name, subsystem="comm", rank=self.current_rank,
                 ts=start, dur=dur,
-                args={"bytes": record.comm.nbytes, "phase": record.phase.value}))
+                args={"bytes": record.comm.nbytes, "phase": record.phase.value,
+                      "overlapped": record.overlapped},
+                id=self._new_span_id(), parent=self._parent_id()))
+        elif record.kind == OpKind.COLLECTIVE:
+            # Not priced here (the data-plane hook already did); an
+            # overlapped record is parked so the hook, which fires next,
+            # can annotate the collective span it is about to emit.
+            if record.overlapped:
+                self._pending_comm = record
+            return
         else:
             return
         if self.metrics is not None:

@@ -9,6 +9,7 @@ from .iteration import (
     embedding_times,
     head_times,
     iteration_time,
+    measured_utilization,
     table5_row,
 )
 from .layer_timing import (
@@ -25,5 +26,6 @@ __all__ = [
     "DP_ALLREDUCE_EFFICIENCY", "FIGURE8_SCHEMES", "IterationResult",
     "KernelCostModel", "PhaseTimes", "TABLE4_EXPERIMENTS", "Table4Row",
     "Table5Row", "embedding_times", "figure8", "head_times", "iteration_time",
-    "layer_oplog", "layer_times", "table4", "table5_row",
+    "layer_oplog", "layer_times", "measured_utilization", "table4",
+    "table5_row",
 ]

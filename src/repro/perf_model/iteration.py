@@ -205,6 +205,31 @@ def iteration_time(
     )
 
 
+def measured_utilization(
+    config: ExperimentConfig,
+    measured_iteration_time: float,
+    recompute: Recompute = Recompute.SELECTIVE,
+    peak_flops_per_gpu: Optional[float] = None,
+    paper_flops_mode: bool = False,
+) -> Utilization:
+    """MFU/HFU of a *measured* (traced) iteration of ``config``.
+
+    The reconciliation path for the trace analysis: the same analytic
+    FLOPs formulas :func:`iteration_time` uses, evaluated at an observed
+    wall time instead of the simulated makespan.  ``paper_flops_mode``
+    defaults to strict (Appendix A exact terms, no Equation-8 rounding)
+    because the instrumented simulator's traced GEMM FLOPs match the
+    strict formulas exactly — so a trace-derived MFU must agree with
+    this to float precision on an identical wall time.
+    """
+    if peak_flops_per_gpu is None:
+        from ..hardware import GPUSpec
+        peak_flops_per_gpu = GPUSpec().peak_flops
+    return utilization(config, measured_iteration_time, recompute=recompute,
+                       peak_flops_per_gpu=peak_flops_per_gpu,
+                       paper_mode=paper_flops_mode)
+
+
 def _scaled_config(config: ExperimentConfig, data_parallel: int) -> ExperimentConfig:
     from ..config import ExperimentConfig as EC, TrainingConfig
     from dataclasses import replace

@@ -10,11 +10,11 @@ from .schedule import (
 )
 from .simulator import PipelineCosts, SimResult, simulate
 from .chrome_trace import chrome_trace_events, export_chrome_trace
-from .timeline import TimelineCosts, figure10, render_timeline
+from .timeline import TimelineCosts, figure10, op_dependency, render_timeline
 
 __all__ = [
     "Op", "OpKind", "PipelineCosts", "SimResult", "TimelineCosts",
     "chrome_trace_events", "export_chrome_trace", "figure10",
-    "rank_of_group", "render_timeline", "schedule_1f1b",
+    "op_dependency", "rank_of_group", "render_timeline", "schedule_1f1b",
     "schedule_interleaved", "simulate", "validate_schedule",
 ]

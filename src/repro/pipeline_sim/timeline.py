@@ -49,6 +49,23 @@ class TimelineEvent:
     symbol: str
 
 
+def op_dependency(op: Op, num_groups: int) -> Optional[Tuple[str, int, int]]:
+    """The cross-rank completion ``(kind, microbatch, group)`` that must
+    finish before ``op`` can start under 1F1B dataflow, or ``None``.
+
+    A forward waits for the previous group's forward of the same
+    microbatch; a backward waits for the next group's backward — except
+    the last group's backward, which only needs its own forward.  This
+    is the dependency walk both the timeline simulation and the trace
+    analysis' cross-rank critical-path extraction use.
+    """
+    if op.kind == OpKind.F:
+        return None if op.group == 0 else ("F", op.microbatch, op.group - 1)
+    if op.group == num_groups - 1:
+        return ("F", op.microbatch, op.group)
+    return ("B", op.microbatch, op.group + 1)
+
+
 def _simulate_events(ranks_ops: List[List[Op]],
                      costs: TimelineCosts) -> Tuple[List[TimelineEvent], float]:
     p = len(ranks_ops)
@@ -66,11 +83,7 @@ def _simulate_events(ranks_ops: List[List[Op]],
                     backwards_left[rank].get(op.microbatch, 0) + 1)
 
     def dependency(op: Op):
-        if op.kind == OpKind.F:
-            return None if op.group == 0 else ("F", op.microbatch, op.group - 1)
-        if op.group == costs.num_groups - 1:
-            return ("F", op.microbatch, op.group)
-        return ("B", op.microbatch, op.group + 1)
+        return op_dependency(op, costs.num_groups)
 
     total = sum(len(ops) for ops in ranks_ops)
     executed = 0

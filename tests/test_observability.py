@@ -250,6 +250,31 @@ class TestMetricsRegistry:
         assert snap["buckets"] == {"0.001": 1, "0.01": 2, "0.1": 3}
         assert snap["sum"] == pytest.approx(5.0555)
 
+    def test_histogram_quantiles_interpolated(self):
+        h = Histogram("lat", buckets=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.005, 0.05, 0.06):
+            h.observe(v)
+        # p50 target = 2 observations -> upper edge of the 0.01 bucket
+        assert h.quantile(0.5) == pytest.approx(0.01)
+        # p99 interpolates inside the last bucket that reaches the target
+        assert 0.01 < h.quantile(0.99) <= 0.1
+        snap = h.snapshot()[""]
+        assert set(snap["quantiles"]) == {"0.5", "0.95", "0.99"}
+        assert snap["quantiles"]["0.5"] == pytest.approx(h.quantile(0.5))
+
+    def test_histogram_quantile_clamps_to_highest_bucket(self):
+        h = Histogram("lat", buckets=(0.001, 0.01))
+        h.observe(100.0)  # above every finite bound
+        assert h.quantile(0.99) == pytest.approx(0.01)
+        assert Histogram("empty").quantile(0.5) == 0.0
+
+    def test_histogram_quantiles_in_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_lat_seconds").observe(0.005, op="x")
+        text = registry.to_prometheus()
+        for q in ("0.5", "0.95", "0.99"):
+            assert f'repro_lat_seconds{{op="x",quantile="{q}"}}' in text
+
     def test_registry_get_or_create_and_type_guard(self):
         registry = MetricsRegistry()
         assert registry.counter("a") is registry.counter("a")
@@ -347,6 +372,34 @@ class TestPerfettoSchema:
         with pytest.raises(ValueError, match="process_name"):
             validate_trace_events([ok])
 
+    def test_validator_rejects_unknown_phase(self):
+        meta = [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                 "args": {"name": "x"}}]
+        bad = {"name": "a", "ph": "Z", "ts": 0.0, "dur": 1.0,
+               "pid": 1, "tid": 0}
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_trace_events(meta + [bad])
+
+    @pytest.mark.parametrize("field,value", [
+        ("pid", -1), ("tid", -3), ("pid", "one"), ("tid", 1.5),
+        ("pid", True),
+    ])
+    def test_validator_rejects_bad_pid_tid(self, field, value):
+        meta = [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                 "args": {"name": "x"}}]
+        ok = {"name": "a", "ph": "X", "ts": 0.0, "dur": 1.0,
+              "pid": 1, "tid": 0}
+        with pytest.raises(ValueError, match=f"bad {field}"):
+            validate_trace_events(meta + [dict(ok, **{field: value})])
+
+    def test_validator_rejects_non_monotone_instants(self):
+        meta = [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                 "args": {"name": "x"}}]
+        inst = {"name": "a", "ph": "i", "ts": 5.0, "pid": 1, "tid": 0,
+                "s": "t"}
+        with pytest.raises(ValueError, match="non-monotone"):
+            validate_trace_events(meta + [inst, dict(inst, ts=1.0)])
+
     def test_export_byte_identical_across_runs(self, tmp_path):
         paths = []
         for i in (1, 2):
@@ -401,6 +454,13 @@ class TestJsonFlags:
         (["flops-report", "--model", "22B", "--json"], "rows"),
         (["plan", "--model", "530B", "--json"], "option"),
         (["simulate-pipeline", "--model", "22B", "--json"], "result"),
+        (["figure", "1", "--json"], "series"),
+        (["figure", "7", "--json"], "series"),
+        (["figure", "8", "--json"], "series"),
+        (["figure", "9", "--json"], "profile"),
+        (["figure", "10", "--json"], "timeline"),
+        (["section5", "--json"], "rows"),
+        (["appendix-c", "--json"], "rows"),
     ])
     def test_json_output_parses(self, argv, key, capsys):
         from repro.cli import main
