@@ -41,6 +41,27 @@ def bench_tensor_parallel_train_step(benchmark):
     assert np.isfinite(loss)
 
 
+def bench_serial_train_step_fused(benchmark):
+    """Same step as :func:`bench_serial_train_step` through the fused
+    engine — the pair is the substrate preset's speedup numerator."""
+    seed(0)
+    model = GPTModel(CFG, seed=0, fused=True)
+    trainer = Trainer(model, Adam(model.parameters(), lr=1e-3))
+    ids, tgt = _batch()
+    loss = benchmark(trainer.train_step, ids, tgt)
+    assert np.isfinite(loss)
+
+
+def bench_tensor_parallel_train_step_fused(benchmark):
+    seed(0)
+    model = ParallelGPTModel(CFG, tensor_parallel=4, sequence_parallel=True,
+                             recompute=Recompute.SELECTIVE, seed=0, fused=True)
+    trainer = Trainer(model, Adam(model.parameters(), lr=1e-3))
+    ids, tgt = _batch()
+    loss = benchmark(trainer.train_step, ids, tgt)
+    assert np.isfinite(loss)
+
+
 def bench_pipelined_train_step(benchmark):
     seed(0)
     model = ParallelGPTModel(CFG, tensor_parallel=2, sequence_parallel=True,

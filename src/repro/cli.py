@@ -443,6 +443,9 @@ def cmd_bench(args) -> str:
             summary += f", mfu {doc['utilization']['mfu']:.3e}"
         if "resilience" in doc:
             summary += f", goodput {doc['resilience']['goodput']:.1%}"
+        if "timing" in doc:
+            summary += (f", fusion x{doc['timing']['serial_speedup']:.2f} "
+                        f"serial / x{doc['timing']['tensor_parallel_speedup']:.2f} tp")
         lines.append(summary + ")")
 
     if args.check:

@@ -7,6 +7,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..fusion.ops import scale_mask_softmax_dropout
 from ..tensor import Tensor, checkpoint
 from ..tensor import functions as F
 from ..tensor.functions import MaskSource
@@ -28,8 +29,9 @@ class CoreAttention(Module):
 
     def __init__(self, num_heads: int, attention_dropout: float,
                  head_shard_mode: str = "replicated", tag: str = "core",
-                 mask_source: Optional[MaskSource] = None):
+                 mask_source: Optional[MaskSource] = None, fused: bool = False):
         self.num_heads = num_heads
+        self.fused = fused
         self.dropout = Dropout(attention_dropout, mode=head_shard_mode,
                                shard_axis=1, tag=f"{tag}.softmax_dropout",
                                mask_source=mask_source)
@@ -45,10 +47,17 @@ class CoreAttention(Module):
         # QK^T saves Q and K (the paper's 4sbh); its output is not saved
         # because the scale/mask save nothing and softmax saves its output.
         scores = F.matmul(qr, kt, category="attn_qk")
-        scores = F.scale(scores, 1.0 / math.sqrt(d))
-        scores = F.causal_mask(scores)
-        probs = F.softmax(scores)          # saves output: 2*a*s^2*b bytes
-        probs = self.dropout(probs)        # saves mask:     a*s^2*b bytes
+        if self.fused:
+            dp = self.dropout
+            probs = scale_mask_softmax_dropout(
+                scores, 1.0 / math.sqrt(d), dp.p, mode=dp.mode,
+                shard_axis=dp.shard_axis, tag=dp.tag,
+                mask_source=dp.mask_source)
+        else:
+            scores = F.scale(scores, 1.0 / math.sqrt(d))
+            scores = F.causal_mask(scores)
+            probs = F.softmax(scores)      # saves output: 2*a*s^2*b bytes
+            probs = self.dropout(probs)    # saves mask:     a*s^2*b bytes
         ctxt = F.matmul(probs, vr, category="attn_context")  # saves probs-out + V
         ctxt = F.transpose(ctxt, (2, 0, 1, 3))               # (s, b, a, d)
         return F.reshape(ctxt, (s, b, h_local))
@@ -67,7 +76,8 @@ class SelfAttention(Module):
                  recompute_core: bool = False,
                  rng: Optional[np.random.Generator] = None,
                  abstract: bool = False, tag: str = "attn",
-                 mask_source: Optional[MaskSource] = None):
+                 mask_source: Optional[MaskSource] = None,
+                 fused: bool = False):
         if hidden_size % num_heads != 0:
             raise ValueError("hidden_size must be divisible by num_heads")
         self.hidden_size = hidden_size
@@ -85,7 +95,7 @@ class SelfAttention(Module):
                          name=f"{tag}.wo", **common)
         self.core = CoreAttention(num_heads, attention_dropout,
                                   head_shard_mode="replicated",
-                                  tag=tag, mask_source=mask_source)
+                                  tag=tag, mask_source=mask_source, fused=fused)
 
     def forward(self, x: Tensor) -> Tensor:
         q, k, v = self.wq(x), self.wk(x), self.wv(x)

@@ -20,9 +20,11 @@ class LayerNorm(Module):
     """
 
     def __init__(self, hidden_size: int, eps: float = 1e-5,
-                 abstract: bool = False, world: int = 1, name: str = "ln"):
+                 abstract: bool = False, world: int = 1, name: str = "ln",
+                 fused: bool = False):
         self.hidden_size = hidden_size
         self.eps = eps
+        self.fused = fused
         if abstract:
             gamma = [AbstractArray((hidden_size,)) for _ in range(world)]
             beta = [AbstractArray((hidden_size,)) for _ in range(world)]
@@ -33,4 +35,7 @@ class LayerNorm(Module):
         self.beta = parameter(beta, dtype=FP16, name=f"{name}.beta")
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.fused:
+            from ..fusion.ops import fused_layernorm
+            return fused_layernorm(x, self.gamma, self.beta, eps=self.eps)
         return F.layernorm(x, self.gamma, self.beta, eps=self.eps)

@@ -48,8 +48,10 @@ class Linear(Module):
                 dtype=FP16, layout="replicated", name=f"{name}.bias",
             )
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, skip_bias_add: bool = False) -> Tensor:
+        """``skip_bias_add=True`` returns ``x @ W`` only, so the caller can
+        fold the bias into a following fused kernel (e.g. bias+GeLU)."""
         y = F.matmul(x, self.weight, category=self.category)
-        if self.bias is not None:
+        if self.bias is not None and not skip_bias_add:
             y = F.add(y, self.bias)
         return y

@@ -23,12 +23,17 @@ class MLP(Module):
 
     def __init__(self, hidden_size: int, ffn_hidden_size: Optional[int] = None,
                  rng: Optional[np.random.Generator] = None,
-                 abstract: bool = False, tag: str = "mlp"):
+                 abstract: bool = False, tag: str = "mlp", fused: bool = False):
         ffn = ffn_hidden_size if ffn_hidden_size is not None else 4 * hidden_size
+        self.fused = fused
         self.fc1 = Linear(hidden_size, ffn, rng=rng, abstract=abstract,
                           category="mlp_fc1_input", name=f"{tag}.fc1")
         self.fc2 = Linear(ffn, hidden_size, rng=rng, abstract=abstract,
                           category="mlp_fc2_input", name=f"{tag}.fc2")
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.fused and self.fc1.bias is not None:
+            from ..fusion.ops import bias_gelu
+            h = self.fc1(x, skip_bias_add=True)
+            return self.fc2(bias_gelu(h, self.fc1.bias))
         return self.fc2(F.gelu(self.fc1(x)))

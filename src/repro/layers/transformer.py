@@ -14,6 +14,7 @@ import numpy as np
 
 from ..config import ModelConfig
 from ..errors import ConfigError
+from ..fusion.ops import dropout_add, softmax_cross_entropy
 from ..tensor import FP32, Tensor, checkpoint
 from ..tensor import functions as F
 from ..tensor.functions import MaskSource
@@ -49,27 +50,42 @@ class TransformerLayer(Module):
                  recompute: Recompute = Recompute.NONE,
                  rng: Optional[np.random.Generator] = None,
                  abstract: bool = False, tag: str = "layer",
-                 mask_source: Optional[MaskSource] = None):
+                 mask_source: Optional[MaskSource] = None,
+                 fused: bool = False):
         self.recompute = Recompute(recompute)
         self.tag = tag
-        self.ln1 = LayerNorm(hidden_size, abstract=abstract, name=f"{tag}.ln1")
+        self.fused = fused
+        self.ln1 = LayerNorm(hidden_size, abstract=abstract, name=f"{tag}.ln1",
+                             fused=fused)
         self.attn = SelfAttention(
             hidden_size, num_heads, attention_dropout=attention_dropout,
             recompute_core=(self.recompute == Recompute.SELECTIVE),
             rng=rng, abstract=abstract, tag=f"{tag}.attn", mask_source=mask_source,
+            fused=fused,
         )
         self.attn_dropout = Dropout(hidden_dropout, mode="replicated",
                                     tag=f"{tag}.attn_dropout", mask_source=mask_source)
-        self.ln2 = LayerNorm(hidden_size, abstract=abstract, name=f"{tag}.ln2")
-        self.mlp = MLP(hidden_size, rng=rng, abstract=abstract, tag=f"{tag}.mlp")
+        self.ln2 = LayerNorm(hidden_size, abstract=abstract, name=f"{tag}.ln2",
+                             fused=fused)
+        self.mlp = MLP(hidden_size, rng=rng, abstract=abstract, tag=f"{tag}.mlp",
+                       fused=fused)
         self.mlp_dropout = Dropout(hidden_dropout, mode="replicated",
                                    tag=f"{tag}.mlp_dropout", mask_source=mask_source)
 
+    def _residual(self, out: Tensor, x: Tensor, dropout: Dropout) -> Tensor:
+        if self.fused:
+            if dropout.p == 0.0 and dropout.mask_source is None:
+                return F.add(out, x)  # dropout is identity: nothing to fuse
+            return dropout_add(out, x, dropout.p, mode=dropout.mode,
+                               shard_axis=dropout.shard_axis, tag=dropout.tag,
+                               mask_source=dropout.mask_source)
+        return F.add(dropout(out), x)
+
     def _body(self, x: Tensor) -> Tensor:
         attn_out = self.attn(self.ln1(x))
-        x = F.add(self.attn_dropout(attn_out), x)
+        x = self._residual(attn_out, x, self.attn_dropout)
         mlp_out = self.mlp(self.ln2(x))
-        return F.add(self.mlp_dropout(mlp_out), x)
+        return self._residual(mlp_out, x, self.mlp_dropout)
 
     def forward(self, x: Tensor) -> Tensor:
         if self.recompute in (Recompute.FULL, Recompute.FULL_SHARDED):
@@ -90,8 +106,10 @@ class LMHead(Module):
 
     def __init__(self, hidden_size: int, vocab_size: int,
                  rng: Optional[np.random.Generator] = None,
-                 abstract: bool = False):
-        self.ln_f = LayerNorm(hidden_size, abstract=abstract, name="head.ln_f")
+                 abstract: bool = False, fused: bool = False):
+        self.fused = fused
+        self.ln_f = LayerNorm(hidden_size, abstract=abstract, name="head.ln_f",
+                              fused=fused)
         self.proj = Linear(hidden_size, vocab_size, rng=rng, abstract=abstract,
                            bias=False, category="lm_head_input", name="head.proj")
 
@@ -100,6 +118,11 @@ class LMHead(Module):
 
     def forward(self, x: Tensor, targets: Tensor,
                 loss_mask: Optional[Tensor] = None) -> Tensor:
+        if self.fused:
+            # The fp32 cast is folded into the fused kernel, which saves
+            # the logits at fp32 itself (same bytes, same category).
+            return softmax_cross_entropy(self.proj(self.ln_f(x)), targets,
+                                         loss_mask=loss_mask)
         return F.cross_entropy(self.logits(x), targets, loss_mask=loss_mask)
 
 
@@ -112,9 +135,11 @@ class GPTModel(Module):
                  recompute_num_layers: Optional[int] = None,
                  recompute_remainder: Recompute = Recompute.NONE,
                  seed: int = 0, abstract: bool = False,
-                 mask_source: Optional[MaskSource] = None):
+                 mask_source: Optional[MaskSource] = None,
+                 fused: bool = False):
         rng = None if abstract else np.random.default_rng(seed)
         self.config = config
+        self.fused = fused
         self.recompute = Recompute(recompute)
         #: checkpoint only the first N layers (the "simple approach" the
         #: paper's Section 5 contrasts with selective recomputation);
@@ -137,11 +162,12 @@ class GPTModel(Module):
                 attention_dropout=attention_dropout, hidden_dropout=hidden_dropout,
                 recompute=self._layer_strategy(i),
                 rng=rng, abstract=abstract, tag=f"layer{i}", mask_source=mask_source,
+                fused=fused,
             )
             for i in range(config.num_layers)
         ]
         self.head = LMHead(config.hidden_size, config.vocab_size,
-                           rng=rng, abstract=abstract)
+                           rng=rng, abstract=abstract, fused=fused)
 
     def _layer_strategy(self, index: int) -> Recompute:
         if (self.recompute in (Recompute.FULL, Recompute.FULL_SHARDED)

@@ -416,12 +416,17 @@ def group_measured_categories(categories: Dict[str, int],
 
 def memory_term_drift(model, microbatch_size: int, tensor_parallel: int,
                       sequence_parallel: bool,
-                      recompute: Recompute) -> MemoryTermDrift:
+                      recompute: Recompute,
+                      fused: bool = False) -> MemoryTermDrift:
     """Run one abstract parallel layer forward under a fresh tracker and
     match its saved bytes term-by-term against Equations 1-4.
 
     This is the measured side of the Table 2 cross-check at per-term
     granularity; on the seed configurations every drift entry is 0.
+    ``fused=True`` runs the layer with the fused kernels of
+    :mod:`repro.fusion` — every fused node registers the same logical
+    saved tensors as the chain it replaces, so the drift stays exactly
+    zero with fusion on (asserted in the tests).
     """
     from ..comm.process_group import ProcessGroup
     from ..memory_model import per_layer_term_groups
@@ -435,7 +440,7 @@ def memory_term_drift(model, microbatch_size: int, tensor_parallel: int,
     layer = ParallelTransformerLayer(
         model.hidden_size, model.num_heads, ProcessGroup(t),
         sequence_parallel=sequence_parallel, recompute=recompute,
-        abstract=True)
+        abstract=True, fused=fused)
     s, b, h = model.seq_length, microbatch_size, model.hidden_size
     sp = sequence_parallel and t > 1
     shape = (s // t if sp else s, b, h)
@@ -464,9 +469,11 @@ MEMORY_DRIFT_CASES = (
 
 
 def memory_drift_report(model, microbatch_size: int,
-                        tensor_parallel: int) -> List[MemoryTermDrift]:
+                        tensor_parallel: int,
+                        fused: bool = False) -> List[MemoryTermDrift]:
     """Per-term drift across all Table 2 (SP, recompute) combinations."""
-    return [memory_term_drift(model, microbatch_size, tensor_parallel, sp, rc)
+    return [memory_term_drift(model, microbatch_size, tensor_parallel, sp, rc,
+                              fused=fused)
             for sp, rc in MEMORY_DRIFT_CASES]
 
 

@@ -33,7 +33,7 @@ from .serialize import dumps_json, to_jsonable
 #: refuses to compare documents with mismatched schema versions.
 SCHEMA_VERSION = 1
 
-PRESET_NAMES = ("tiny", "small", "chaos")
+PRESET_NAMES = ("tiny", "small", "chaos", "substrate")
 
 DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
 
@@ -48,7 +48,11 @@ TRACE_PRESETS: Dict[str, dict] = {
 
 #: Per-metric tolerances for --check, matched by longest dotted-key
 #: prefix (first hit wins).  ``("exact", 0)`` fails on any difference;
-#: ``("abs", x)`` on |delta| > x; ``("rel", x)`` on relative change > x.
+#: ``("abs", x)`` on |delta| > x; ``("rel", x)`` on relative change > x;
+#: ``("floor", x)`` fails when the *current* value drops below x (used
+#: for speedup ratios, where the baseline value is machine-specific);
+#: ``("ignore", 0)`` records the metric without gating it (raw
+#: wall-clock seconds, which vary across machines).
 TOLERANCES: Tuple[Tuple[str, Tuple[str, float]], ...] = (
     ("schema_version", ("exact", 0)),
     ("preset", ("exact", 0)),
@@ -57,6 +61,12 @@ TOLERANCES: Tuple[Tuple[str, Tuple[str, float]], ...] = (
     ("config.", ("exact", 0)),
     ("trace_hash", ("exact", 0)),
     ("counts.", ("exact", 0)),
+    ("timing.serial_speedup", ("floor", 1.5)),
+    ("timing.tensor_parallel_speedup", ("floor", 1.5)),
+    ("timing.", ("ignore", 0.0)),
+    ("fusion.", ("exact", 0)),
+    ("arena.", ("exact", 0)),
+    ("memory.fused_drift", ("exact", 0)),
     ("memory.peak_bytes", ("exact", 0)),
     ("memory.drift", ("abs", 1.0)),
     ("utilization.mfu_delta", ("abs", 1e-3)),
@@ -278,6 +288,148 @@ def _run_chaos_preset(seed_value: int, steps: int) -> dict:
     return doc
 
 
+def _run_substrate_preset(seed_value: int, steps: int) -> dict:
+    """Benchmark the fused-operator engine (:mod:`repro.fusion`) against
+    the unfused tape on real train steps.
+
+    Gated quantities: the fused/unfused speedup ratios (floor 1.5x — the
+    baseline's raw seconds are machine-specific and ignored), the tape
+    shrinkage and eliminated-kernel counts (exact), the buffer-arena
+    recycling stats (exact), equal saved-activation peaks fused vs
+    unfused (exact), zero per-term Eq. 1-4 drift with fusion on (exact),
+    and the fused run's trace hash (exact — byte-identical determinism
+    at equal seeds, fused spans included).
+    """
+    import time
+
+    from ..config import ModelConfig
+    from ..fusion import fusion_report, reset_arena
+    from ..layers import GPTModel
+    from ..parallel.transformer import ParallelGPTModel
+    from ..tensor import MemoryTracker, OpLog, instrument, seed
+    from ..training import Adam, Trainer, UniformTokens
+    from .analysis import memory_drift_report
+    from .tracer import Tracer, trace_scope
+
+    # hidden 128 / seq 64 sits in the regime the fusion targets: steps are
+    # long enough (~50-100ms) that timing noise is small relative to the
+    # floor margin, but elementwise traffic still dominates over the GEMMs
+    # (at hidden >= 256 numpy matmul time swamps the fusible work).
+    model_cfg = ModelConfig(name="substrate", num_layers=2, hidden_size=128,
+                            num_heads=4, seq_length=64, vocab_size=64)
+    tp = 4
+    batch = 4
+
+    def _data():
+        return UniformTokens(model_cfg.vocab_size, model_cfg.seq_length,
+                             seed=seed_value + 1).batch(batch)
+
+    def _serial(fused: bool):
+        seed(seed_value)
+        model = GPTModel(model_cfg, seed=0, fused=fused)
+        return model, Trainer(model, Adam(model.parameters(), lr=1e-3))
+
+    def _tensor_parallel(fused: bool):
+        seed(seed_value)
+        model = ParallelGPTModel(model_cfg, tensor_parallel=tp,
+                                 sequence_parallel=True,
+                                 recompute=Recompute.SELECTIVE,
+                                 seed=0, fused=fused)
+        return model, Trainer(model, Adam(model.parameters(), lr=1e-3))
+
+    def _time_pair(make_trainer) -> Tuple[float, float]:
+        """Best unfused/fused step seconds, measured *interleaved* so a
+        load spike on the host hits both engines alike — the gated
+        quantity is their ratio, which this keeps stable."""
+        import gc
+
+        trainers = []
+        ids, targets = _data()
+        for fused in (False, True):
+            _, trainer = make_trainer(fused)
+            for _ in range(2):  # warmup (allocator + arena steady state)
+                trainer.train_step(ids, targets)
+            trainers.append(trainer)
+        reps = max(9, steps)
+        best = [float("inf"), float("inf")]
+        was_enabled = gc.isenabled()
+        gc.disable()  # as timeit does: GC pauses dominate the noise
+        try:
+            for _ in range(reps):
+                for i, trainer in enumerate(trainers):
+                    t0 = time.perf_counter()
+                    trainer.train_step(ids, targets)
+                    best[i] = min(best[i], time.perf_counter() - t0)
+        finally:
+            if was_enabled:
+                gc.enable()
+        return best[0], best[1]
+
+    serial_unfused, serial_fused = _time_pair(_serial)
+    tp_unfused, tp_fused = _time_pair(_tensor_parallel)
+
+    # Tape shrinkage + accounting parity on one instrumented serial step.
+    def _instrumented(fused: bool):
+        model, trainer = _serial(fused)
+        ids, targets = _data()
+        log, tracker = OpLog(), MemoryTracker()
+        with instrument(memory=tracker, oplog=log):
+            trainer.train_step(ids, targets)
+        return log, tracker
+
+    log_unfused, mem_unfused = _instrumented(False)
+    log_fused, mem_fused = _instrumented(True)
+    report = fusion_report(log_unfused.records)
+
+    # Arena recycling over the same fused step (scratch only, deterministic).
+    arena = reset_arena()
+    _instrumented(True)
+    arena_stats = arena.stats()
+    reset_arena()
+
+    # Zero Eq. 1-4 per-term drift with fusion on (abstract, paper accounting).
+    drifts = memory_drift_report(model_cfg, batch, tp, fused=True)
+
+    # Determinism fingerprint of a fused traced run (fused spans included).
+    tracer = Tracer()
+    model, trainer = _tensor_parallel(True)
+    ids, targets = _data()
+    with trace_scope(tracer):
+        for _ in range(steps):
+            trainer.train_step(ids, targets)
+
+    doc = _base_doc("substrate", seed_value, steps, model_cfg, tp, 1)
+    doc["timing"] = {
+        "serial_unfused_s": serial_unfused,
+        "serial_fused_s": serial_fused,
+        "serial_speedup": serial_unfused / serial_fused,
+        "tensor_parallel_unfused_s": tp_unfused,
+        "tensor_parallel_fused_s": tp_fused,
+        "tensor_parallel_speedup": tp_unfused / tp_fused,
+    }
+    doc["fusion"] = {
+        "records_unfused": len(log_unfused.records),
+        "records_fused": len(log_fused.records),
+        "kernels_eliminated": report["kernels_eliminated"],
+        "fused_kernels": report["fused_kernels"],
+    }
+    doc["arena"] = arena_stats
+    doc["memory"] = {
+        "peak_bytes": {"unfused": mem_unfused.peak_bytes(0),
+                       "fused": mem_fused.peak_bytes(0)},
+        "fused_drift": {_drift_key(d): d.drift for d in drifts},
+        "fused_drift_total_bytes": sum(d.total_drift for d in drifts),
+    }
+    doc["counts"] = {
+        "spans": len(tracer.spans),
+        "instants": len(tracer.instants),
+        "fused_spans": sum(1 for s in tracer.spans
+                           if s.args.get("fused")),
+    }
+    doc["trace_hash"] = trace_hash(tracer)
+    return doc
+
+
 def _base_doc(preset: str, seed_value: int, steps: int, model_cfg,
               tp: int, pp: int) -> dict:
     return {
@@ -306,6 +458,8 @@ def run_preset(preset: str, seed_value: int = 1234, steps: int = 2) -> dict:
     """Run one preset and return its canonical BENCH document."""
     if preset == "chaos":
         return _run_chaos_preset(seed_value, steps)
+    if preset == "substrate":
+        return _run_substrate_preset(seed_value, steps)
     if preset not in TRACE_PRESETS:
         raise ValueError(f"unknown preset {preset!r}; "
                          f"expected one of {PRESET_NAMES}")
@@ -353,6 +507,10 @@ def tolerance_for(key: str) -> Tuple[str, float]:
 
 def _within(baseline, current, tol: Tuple[str, float]) -> bool:
     kind, bound = tol
+    if kind == "ignore":
+        return True
+    if kind == "floor":
+        return isinstance(current, (int, float)) and current >= bound
     if kind == "exact":
         return baseline == current
     if not isinstance(baseline, (int, float)) or \

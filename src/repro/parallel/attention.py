@@ -60,7 +60,8 @@ class ParallelSelfAttention(Module):
                  attention_dropout: float = 0.1, recompute_core: bool = False,
                  serial_weights: Optional[dict] = None,
                  abstract: bool = False, tag: str = "attn",
-                 mask_source: Optional[MaskSource] = None):
+                 mask_source: Optional[MaskSource] = None,
+                 fused: bool = False):
         from .tp_layers import ColumnParallelLinear, RowParallelLinear
 
         t = group.size
@@ -89,6 +90,7 @@ class ParallelSelfAttention(Module):
         self.core = CoreAttention(
             num_heads // t, attention_dropout,
             head_shard_mode="sharded", tag=tag, mask_source=mask_source,
+            fused=fused,
         )
         self.wo = RowParallelLinear(
             hidden_size, hidden_size, group,

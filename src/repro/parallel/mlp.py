@@ -22,9 +22,10 @@ class ParallelMLP(Module):
     def __init__(self, hidden_size: int, group: ProcessGroup,
                  sequence_parallel: bool = False, fuse_sp_gather: bool = True,
                  serial_weights: Optional[dict] = None,
-                 abstract: bool = False, tag: str = "mlp"):
+                 abstract: bool = False, tag: str = "mlp", fused: bool = False):
         from .tp_layers import ColumnParallelLinear, RowParallelLinear
 
+        self.fused = fused
         sw = serial_weights or {}
         self.fc1 = ColumnParallelLinear(
             hidden_size, 4 * hidden_size, group,
@@ -42,4 +43,10 @@ class ParallelMLP(Module):
         )
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.fused and self.fc1.bias is not None:
+            from ..fusion.ops import bias_gelu
+            # GeLU is elementwise, so bias+GeLU fuses per-rank on the
+            # column shards exactly as it does serially.
+            h = self.fc1(x, skip_bias_add=True)
+            return self.fc2(bias_gelu(h, self.fc1.bias))
         return self.fc2(F.gelu(self.fc1(x)))

@@ -86,7 +86,9 @@ class ColumnParallelLinear(Module):
             self.bias = parameter(bias_shards, dtype=FP16, layout="shard(dim=0)",
                                   name=f"{name}.bias")
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, skip_bias_add: bool = False) -> Tensor:
+        """``skip_bias_add=True`` returns the biasless product so the caller
+        can fold the (column-sharded) bias into a following fused kernel."""
         if self.sequence_parallel:
             if self.fuse_sp_gather:
                 y = all_gather_matmul(x, self.weight, self.group, axis=0,
@@ -98,7 +100,7 @@ class ColumnParallelLinear(Module):
             if self.apply_f:
                 x = copy_to_tensor_parallel_region(x, self.group)
             y = F.matmul(x, self.weight, category=self.category)
-        if self.bias is not None:
+        if self.bias is not None and not skip_bias_add:
             y = F.add(y, self.bias)
         return y
 

@@ -22,6 +22,7 @@ from ..layers.dropout import Dropout
 from ..layers.layernorm import LayerNorm
 from ..layers.module import Module
 from ..layers.transformer import GPTModel, Recompute
+from ..fusion.ops import dropout_add
 from ..tensor import FP32, Tensor, checkpoint
 from ..tensor import functions as F
 from ..tensor.functions import MaskSource
@@ -47,15 +48,18 @@ class ParallelTransformerLayer(Module):
                  recompute: Recompute = Recompute.NONE,
                  serial_weights: Optional[dict] = None,
                  abstract: bool = False, tag: str = "layer",
-                 mask_source: Optional[MaskSource] = None):
+                 mask_source: Optional[MaskSource] = None,
+                 fused: bool = False):
         t = group.size
         self.group = group
         self.sequence_parallel = sequence_parallel
         self.recompute = Recompute(recompute)
         self.tag = tag
+        self.fused = fused
         dropout_mode = "sharded" if sequence_parallel else "replicated"
 
-        self.ln1 = LayerNorm(hidden_size, abstract=abstract, world=t, name=f"{tag}.ln1")
+        self.ln1 = LayerNorm(hidden_size, abstract=abstract, world=t, name=f"{tag}.ln1",
+                             fused=fused)
         self.attn = ParallelSelfAttention(
             hidden_size, num_heads, group,
             sequence_parallel=sequence_parallel, fuse_sp_gather=fuse_sp_gather,
@@ -63,24 +67,35 @@ class ParallelTransformerLayer(Module):
             recompute_core=(self.recompute == Recompute.SELECTIVE),
             serial_weights=None if abstract else serial_weights["attn"],
             abstract=abstract, tag=f"{tag}.attn", mask_source=mask_source,
+            fused=fused,
         )
         self.attn_dropout = Dropout(hidden_dropout, mode=dropout_mode, shard_axis=0,
                                     tag=f"{tag}.attn_dropout", mask_source=mask_source)
-        self.ln2 = LayerNorm(hidden_size, abstract=abstract, world=t, name=f"{tag}.ln2")
+        self.ln2 = LayerNorm(hidden_size, abstract=abstract, world=t, name=f"{tag}.ln2",
+                             fused=fused)
         self.mlp = ParallelMLP(
             hidden_size, group,
             sequence_parallel=sequence_parallel, fuse_sp_gather=fuse_sp_gather,
             serial_weights=None if abstract else serial_weights["mlp"],
-            abstract=abstract, tag=f"{tag}.mlp",
+            abstract=abstract, tag=f"{tag}.mlp", fused=fused,
         )
         self.mlp_dropout = Dropout(hidden_dropout, mode=dropout_mode, shard_axis=0,
                                    tag=f"{tag}.mlp_dropout", mask_source=mask_source)
 
+    def _residual(self, out: Tensor, x: Tensor, dropout: Dropout) -> Tensor:
+        if self.fused:
+            if dropout.p == 0.0 and dropout.mask_source is None:
+                return F.add(out, x)  # dropout is identity: nothing to fuse
+            return dropout_add(out, x, dropout.p, mode=dropout.mode,
+                               shard_axis=dropout.shard_axis, tag=dropout.tag,
+                               mask_source=dropout.mask_source)
+        return F.add(dropout(out), x)
+
     def _body(self, x: Tensor) -> Tensor:
         attn_out = self.attn(self.ln1(x))
-        x = F.add(self.attn_dropout(attn_out), x)
+        x = self._residual(attn_out, x, self.attn_dropout)
         mlp_out = self.mlp(self.ln2(x))
-        return F.add(self.mlp_dropout(mlp_out), x)
+        return self._residual(mlp_out, x, self.mlp_dropout)
 
     def forward(self, x: Tensor) -> Tensor:
         if self.recompute == Recompute.FULL:
@@ -110,10 +125,13 @@ class ParallelLMHead(Module):
     def __init__(self, hidden_size: int, vocab_size: int, group: ProcessGroup,
                  sequence_parallel: bool = False, fuse_sp_gather: bool = True,
                  serial_weight: Optional[np.ndarray] = None,
-                 abstract: bool = False):
+                 abstract: bool = False, fused: bool = False):
         self.group = group
+        # Only the layer-norm fuses here: the loss is the *vocab-parallel*
+        # cross-entropy, whose all-reduces between the local max/sum-exp
+        # stages make it a different (already multi-kernel-aware) op.
         self.ln_f = LayerNorm(hidden_size, abstract=abstract, world=group.size,
-                              name="head.ln_f")
+                              name="head.ln_f", fused=fused)
         self.proj = ColumnParallelLinear(
             hidden_size, vocab_size, group,
             sequence_parallel=sequence_parallel, fuse_sp_gather=fuse_sp_gather,
@@ -179,7 +197,8 @@ class ParallelGPTModel(Module):
                  seed: int = 0, abstract: bool = False,
                  mask_source: Optional[MaskSource] = None,
                  serial: Optional[GPTModel] = None,
-                 num_layers_override: Optional[int] = None):
+                 num_layers_override: Optional[int] = None,
+                 fused: bool = False):
         if sequence_parallel and config.seq_length % tensor_parallel != 0:
             raise ConfigError("seq_length must be divisible by tensor_parallel")
         if config.vocab_size % tensor_parallel != 0:
@@ -187,6 +206,7 @@ class ParallelGPTModel(Module):
         self.config = config
         self.group = ProcessGroup(tensor_parallel, scope="tp")
         self.sequence_parallel = sequence_parallel
+        self.fused = fused
         self.recompute = Recompute(recompute)
         n_layers = config.num_layers if num_layers_override is None else num_layers_override
 
@@ -223,12 +243,13 @@ class ParallelGPTModel(Module):
                 recompute=strategy,
                 serial_weights=None if abstract else weights["layers"][i],
                 abstract=abstract, tag=f"layer{i}", mask_source=mask_source,
+                fused=fused,
             ))
         self.head = ParallelLMHead(
             config.hidden_size, config.vocab_size, self.group,
             sequence_parallel=sequence_parallel, fuse_sp_gather=fuse_sp_gather,
             serial_weight=None if abstract else weights["head"],
-            abstract=abstract,
+            abstract=abstract, fused=fused,
         )
 
     def hidden_states(self, x_or_ids: Tensor, from_embedding: bool = True) -> Tensor:

@@ -67,6 +67,11 @@ class KernelCostModel:
     fusion_factor: float = 0.55
     overlap_backward_comm: bool = True
     comm_call_overhead: float = 12e-6
+    #: Memo for :meth:`op_time` — the layer-timing sweeps price the same
+    #: (kind, flops, bytes, comm) tuples thousands of times.  Excluded from
+    #: equality/hash/repr so the dataclass stays value-semantic.
+    _op_time_cache: dict = field(default_factory=dict, repr=False,
+                                 compare=False, hash=False)
 
     @property
     def comm(self) -> CollectiveCostModel:
@@ -79,21 +84,34 @@ class KernelCostModel:
         memory = bytes_moved / (self.gpu.hbm_bandwidth * self.hbm_efficiency)
         return max(compute, memory) + self.gpu.kernel_launch_overhead
 
-    def elementwise_time(self, bytes_moved: float) -> float:
-        effective = bytes_moved * self.fusion_factor
+    def elementwise_time(self, bytes_moved: float, fused: bool = False) -> float:
+        # Unfused logs charge every constituent round trip, so the discount
+        # models the fusion the real kernels would apply.  Records from
+        # ``repro.fusion`` already report the fused traffic — discounting
+        # them again would double-count the win.
+        effective = bytes_moved if fused else bytes_moved * self.fusion_factor
         return (effective / (self.gpu.hbm_bandwidth * self.hbm_efficiency)
                 + self.gpu.kernel_launch_overhead)
 
     def op_time(self, record: OpRecord) -> float:
+        key = (record.kind, record.flops, record.bytes_moved, record.fused,
+               record.comm, record.overlapped)
+        cached = self._op_time_cache.get(key)
+        if cached is not None:
+            return cached
         if record.kind == OpKind.GEMM:
-            return self.gemm_time(record.flops, record.bytes_moved)
-        if record.kind == OpKind.ELEMENTWISE:
-            return self.elementwise_time(record.bytes_moved)
-        if record.comm is not None:
+            cost = self.gemm_time(record.flops, record.bytes_moved)
+        elif record.kind == OpKind.ELEMENTWISE:
+            cost = self.elementwise_time(record.bytes_moved, fused=record.fused)
+        elif record.comm is not None:
             if record.overlapped and self.overlap_backward_comm:
-                return 0.0
-            return self.comm.time(record.comm)
-        return 0.0
+                cost = 0.0
+            else:
+                cost = self.comm.time(record.comm)
+        else:
+            cost = 0.0
+        self._op_time_cache[key] = cost
+        return cost
 
     # -- aggregate pricing -----------------------------------------------------
     def price_records(self, records: Iterable[OpRecord],

@@ -31,15 +31,22 @@ def layer_oplog(
     fuse_sp_gather: bool = True,
     attention_dropout: float = 0.1,
     hidden_dropout: float = 0.1,
+    fused: bool = False,
 ) -> OpLog:
-    """Run one abstract layer forward+backward and return its op log."""
+    """Run one abstract layer forward+backward and return its op log.
+
+    ``fused=True`` runs the layer through :mod:`repro.fusion`'s fused
+    kernels: the log then carries one ``fused=True`` elementwise record
+    per fused chain (true combined traffic, priced without the unfused
+    fusion discount), so one roofline pass replaces N.
+    """
     t = tensor_parallel
     group = ProcessGroup(t, scope="tp")
     layer = ParallelTransformerLayer(
         model.hidden_size, model.num_heads, group,
         sequence_parallel=sequence_parallel, fuse_sp_gather=fuse_sp_gather,
         attention_dropout=attention_dropout, hidden_dropout=hidden_dropout,
-        recompute=recompute, abstract=True, tag="timed_layer",
+        recompute=recompute, abstract=True, tag="timed_layer", fused=fused,
     )
     s, b, h = model.seq_length, microbatch_size, model.hidden_size
     if sequence_parallel:
@@ -65,13 +72,14 @@ def layer_times(
     recompute: Recompute = Recompute.NONE,
     cost: Optional[KernelCostModel] = None,
     fuse_sp_gather: bool = True,
+    fused: bool = False,
 ) -> PhaseTimes:
     """Forward / backward / recompute seconds for one transformer layer."""
     cost = cost or KernelCostModel()
     log = layer_oplog(
         model, microbatch_size, tensor_parallel,
         sequence_parallel=sequence_parallel, recompute=recompute,
-        fuse_sp_gather=fuse_sp_gather,
+        fuse_sp_gather=fuse_sp_gather, fused=fused,
     )
     return cost.price(log)
 

@@ -234,7 +234,9 @@ def split(x: ArrayLike, sections: int, axis: int) -> list:
         piece = list(shp)
         piece[axis_] //= sections
         return [AbstractArray(piece) for _ in range(sections)]
-    return [np.ascontiguousarray(p) for p in np.split(x, sections, axis=axis_)]
+    # Views, not copies: callers that need ownership (e.g. parameter
+    # sharding) copy explicitly; the hot paths just read.
+    return list(np.split(x, sections, axis=axis_))
 
 
 def slice_axis(x: ArrayLike, axis: int, start: int, stop: int) -> ArrayLike:
@@ -249,7 +251,7 @@ def slice_axis(x: ArrayLike, axis: int, start: int, stop: int) -> ArrayLike:
         return AbstractArray(piece)
     index = [slice(None)] * len(shp)
     index[axis_] = slice(start, stop)
-    return np.ascontiguousarray(x[tuple(index)])
+    return x[tuple(index)]
 
 
 def zeros(shape: Shape, abstract: bool = False) -> ArrayLike:

@@ -36,18 +36,23 @@ def _widths(*tensors: Optional[Tensor]) -> List[int]:
 
 
 def _unbroadcast(grad: bk.ArrayLike, target_shape) -> bk.ArrayLike:
-    """Reduce ``grad`` back to ``target_shape`` (reverse of broadcasting)."""
+    """Reduce ``grad`` back to ``target_shape`` (reverse of broadcasting).
+
+    One fused reduction over every broadcast axis (leading and size-1
+    alike), then a free reshape — never materialises an intermediate
+    partially-reduced array.
+    """
     gshape = bk.shape_of(grad)
-    if gshape == tuple(target_shape):
+    target = tuple(target_shape)
+    if gshape == target:
         return grad
-    extra = len(gshape) - len(target_shape)
-    if extra > 0:
-        grad = bk.sum_(grad, axis=tuple(range(extra)))
-        gshape = bk.shape_of(grad)
-    axes = tuple(i for i, (g, t) in enumerate(zip(gshape, target_shape)) if t == 1 and g != 1)
+    extra = len(gshape) - len(target)
+    axes = tuple(range(extra)) + tuple(
+        extra + i for i, t in enumerate(target) if t == 1 and gshape[extra + i] != 1
+    )
     if axes:
-        grad = bk.sum_(grad, axis=axes, keepdims=True)
-    return grad
+        grad = bk.sum_(grad, axis=axes)
+    return bk.reshape(grad, target)
 
 
 # ---------------------------------------------------------------------------
@@ -391,11 +396,23 @@ class MaskSource:
     def __init__(self, seed: int, keep_prob: float):
         self.seed = seed
         self.keep_prob = keep_prob
+        # Masks are a pure function of (tag, shape), so caching is free of
+        # determinism hazards and spares regenerating them on every
+        # checkpoint replay / microbatch within a step.
+        self._cache: dict = {}
 
     def full_mask(self, tag: str, shape) -> np.ndarray:
-        tag_seed = (hash(tag) ^ self.seed) & 0x7FFFFFFF
-        rng = np.random.default_rng(tag_seed)
-        return rng.random(shape) < self.keep_prob
+        key = (tag, tuple(shape))
+        mask = self._cache.get(key)
+        if mask is None:
+            tag_seed = (hash(tag) ^ self.seed) & 0x7FFFFFFF
+            rng = np.random.default_rng(tag_seed)
+            mask = rng.random(shape) < self.keep_prob
+            self._cache[key] = mask
+        return mask
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
 
 
 class Dropout(Function):
@@ -445,11 +462,9 @@ class Dropout(Function):
                 full_shape[self.shard_axis] *= world
                 full = self.mask_source.full_mask(self.tag, tuple(full_shape))
                 masks = [
-                    np.ascontiguousarray(
-                        bk.slice_axis(full, self.shard_axis,
-                                      r * shape[self.shard_axis],
-                                      (r + 1) * shape[self.shard_axis])
-                    )
+                    bk.slice_axis(full, self.shard_axis,
+                                  r * shape[self.shard_axis],
+                                  (r + 1) * shape[self.shard_axis])
                     for r in range(world)
                 ]
             else:

@@ -246,12 +246,13 @@ class FnCtx:
         if c.tracer is not None:
             c.tracer.on_op(record)
 
-    def log_elementwise(self, name: str, bytes_moved: float, flops_per_rank: float = 0.0) -> None:
+    def log_elementwise(self, name: str, bytes_moved: float, flops_per_rank: float = 0.0,
+                        fused: bool = False) -> None:
         c = ctx()
         if c.oplog is None and c.tracer is None:
             return
         record = OpRecord(name=name, kind=OpKind.ELEMENTWISE, phase=c.phase,
-                          flops=flops_per_rank, bytes_moved=bytes_moved)
+                          flops=flops_per_rank, bytes_moved=bytes_moved, fused=fused)
         if c.oplog is not None:
             c.oplog.add(record)
         if c.tracer is not None:
