@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction.
 PY ?= python
 
-.PHONY: test bench bench-gate chaos trace report examples all clean
+.PHONY: test bench bench-gate chaos trace serve report examples all clean
 
 test:
 	$(PY) -m pytest tests/
@@ -32,6 +32,13 @@ trace:
 	$(PY) -c "import json; json.load(open('trace-out/trace.json')); json.load(open('trace-out/metrics.json'))"
 	@echo "trace artifacts written to trace-out/"
 
+# Continuous-batching serving smoke run on the paged KV cache, both
+# preemption policies, with a validated Perfetto trace (docs/serving.md).
+serve:
+	$(PY) -m repro serve --trace-out serve-trace.json
+	$(PY) -m repro serve --policy recompute > /dev/null
+	@echo "serving runs completed; trace in serve-trace.json"
+
 report:
 	$(PY) -m repro report --output report.md
 
@@ -42,5 +49,5 @@ examples:
 all: test bench report
 
 clean:
-	rm -rf .pytest_cache .hypothesis report.md trace-out
+	rm -rf .pytest_cache .hypothesis report.md trace-out serve-trace.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

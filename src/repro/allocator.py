@@ -164,6 +164,18 @@ class FirstFitAllocator:
             merged.pop()
         self._free = merged
 
+    def offset_of(self, handle: int) -> int:
+        """Arena byte offset of a live allocation (stable until freed).
+
+        The paged KV cache derives block ids from offsets: with equal-size
+        aligned requests, first-fit hands out deterministic, densely
+        packed offsets, so ``offset // block_bytes`` is a stable block
+        index."""
+        block = self._allocated.get(handle)
+        if block is None:
+            raise PlanningError(f"unknown or freed handle {handle}")
+        return block.offset
+
     @property
     def live_bytes(self) -> int:
         return self._live

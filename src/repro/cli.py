@@ -28,6 +28,7 @@ from .observability.regress import DEFAULT_BASELINE_DIR, PRESET_NAMES
 from .observability.serialize import dumps_json
 from .perf_model import iteration_time
 from .planner import plan
+from .serving import POLICIES
 from .reporting import format_table, pct
 from .units import GIB, fmt_bytes, fmt_count, fmt_flops
 
@@ -415,6 +416,69 @@ def cmd_trace(args) -> str:
     )
 
 
+def cmd_serve(args) -> str:
+    """Run the continuous-batching scheduler on a seeded open-loop
+    workload against a real (serial or tensor-parallel) model and report
+    throughput, token latency, preemption traffic and the KV accounting
+    drift (always exactly zero).  ``--json`` emits the full canonical
+    :class:`~repro.serving.ServeReport` — byte-identical at equal seeds.
+    """
+    from .config import ModelConfig
+    from .layers import GPTModel
+    from .observability import Tracer
+    from .parallel.transformer import ParallelGPTModel
+    from .serving import (
+        ContinuousBatchingScheduler,
+        DecodeEngine,
+        PagedKVCache,
+        ServingPerfModel,
+        generate_requests,
+    )
+
+    model_cfg = ModelConfig(name="serve", num_layers=2, hidden_size=128,
+                            num_heads=4, seq_length=64, vocab_size=32)
+    serial = GPTModel(model_cfg, seed=3)
+    if args.tp > 1:
+        model = ParallelGPTModel(model_cfg, tensor_parallel=args.tp,
+                                 sequence_parallel=args.sequence_parallel,
+                                 attention_dropout=0.0, hidden_dropout=0.0,
+                                 serial=serial)
+    else:
+        model = serial
+    cache = PagedKVCache(model_cfg, tensor_parallel=args.tp,
+                         block_size=args.block_size,
+                         num_blocks=args.num_blocks)
+    perf = ServingPerfModel(model_cfg, tensor_parallel=args.tp)
+    tracer = Tracer()
+    scheduler = ContinuousBatchingScheduler(
+        DecodeEngine(model, cache), perf, policy=args.policy,
+        max_batch=args.max_batch, seed=args.seed, tracer=tracer)
+    specs = generate_requests(model_cfg, args.requests, seed=args.seed,
+                              arrival_rate=5000.0, prompt_lengths=(1, 3),
+                              new_tokens=(2, 40))
+    report = scheduler.run(specs)
+    trace_note = ""
+    if args.trace_out:
+        from .observability import export_trace, validate_trace_file
+        num_events = export_trace(tracer, args.trace_out)
+        validate_trace_file(args.trace_out)
+        trace_note = (f"\n  {args.trace_out}: {num_events} events "
+                      "(validated; open in https://ui.perfetto.dev)")
+    if args.json:
+        return emit_json(report.to_dict())
+    return (
+        f"served {report.num_requests} request(s), policy {report.policy}, "
+        f"tp={args.tp}: {report.tokens_generated} token(s) in "
+        f"{1e3 * report.elapsed_s:.2f} ms simulated "
+        f"({report.tokens_per_s:.0f} tok/s)\n"
+        f"  preemptions {report.preemptions}, resumes {report.resumes}, "
+        f"peak KV occupancy {pct(report.peak_kv_occupancy)}, "
+        f"KV drift {report.kv_drift_bytes:.0f} B\n"
+        f"  token latency p50 {1e3 * report.p50_token_latency_s:.3f} ms, "
+        f"p95 {1e3 * report.p95_token_latency_s:.3f} ms" + trace_note
+    )
+
+
 def cmd_bench(args) -> str:
     """Run the benchmark presets, write canonical ``BENCH_<preset>.json``
     documents, and (with ``--check``) gate against committed baselines.
@@ -446,6 +510,10 @@ def cmd_bench(args) -> str:
         if "timing" in doc:
             summary += (f", fusion x{doc['timing']['serial_speedup']:.2f} "
                         f"serial / x{doc['timing']['tensor_parallel_speedup']:.2f} tp")
+        if "serving" in doc:
+            summary += (f", serve x"
+                        f"{doc['serving']['continuous_vs_static_speedup']:.2f}"
+                        f" vs static")
         lines.append(summary + ")")
 
     if args.check:
@@ -592,6 +660,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output-dir", default="trace-out")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "serve", help="continuous-batching serving run on the paged KV "
+                      "cache (swap/recompute preemption)")
+    p.add_argument("--requests", type=int, default=12,
+                   help="open-loop workload size")
+    p.add_argument("--seed", type=int, default=1234,
+                   help="workload + sampling seed")
+    p.add_argument("--tp", type=int, default=2, help="tensor-parallel size")
+    p.add_argument("--sequence-parallel", action="store_true",
+                   help="serve a sequence-parallel trained layout (tp > 1)")
+    p.add_argument("--policy", default="swap", choices=list(POLICIES),
+                   help="what preemption does with the victim's KV state")
+    p.add_argument("--block-size", type=int, default=4,
+                   help="token slots per KV block")
+    p.add_argument("--num-blocks", type=int, default=24,
+                   help="KV pool size in blocks")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="decode batch width cap")
+    p.add_argument("--trace-out", default=None,
+                   help="also write a validated Perfetto trace here")
+    add_json_flag(p)
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "bench", help="benchmark presets -> BENCH_*.json; --check gates "

@@ -28,16 +28,22 @@ AnyGPT = Union[GPTModel, ParallelGPTModel]
 
 @contextmanager
 def evaluation(model: Module):
-    """Disable every dropout in ``model`` for the duration of the block."""
+    """Disable every dropout in ``model`` for the duration of the block.
+
+    Scoped sugar over :meth:`Module.eval`: on exit each dropout is put
+    back in exactly its pre-context state (not unconditionally back to
+    training), so the context nests and composes with explicit
+    ``model.eval()`` calls — the serving engine wraps every step in it
+    while the scheduler may hold the model in eval mode across the run.
+    """
     dropouts = [m for m in model.modules() if isinstance(m, Dropout)]
-    saved = [d.p for d in dropouts]
-    for d in dropouts:
-        d.p = 0.0
+    saved = [(d.p, d._train_p) for d in dropouts]
+    model.eval()
     try:
         yield model
     finally:
-        for d, p in zip(dropouts, saved):
-            d.p = p
+        for d, (p, train_p) in zip(dropouts, saved):
+            d.p, d._train_p = p, train_p
 
 
 def _world(model: AnyGPT) -> int:
@@ -71,6 +77,28 @@ def _next_token_logits(model: AnyGPT, ids: np.ndarray,
         # vocab-parallel head: shards partition the vocabulary
         full = np.concatenate([np.asarray(s) for s in logits.shards], axis=-1)
     return full[length - 1]
+
+
+def sample_next(logits: np.ndarray, strategy: str, top_k: int,
+                temperature: float,
+                rng: Optional[np.random.Generator]) -> np.ndarray:
+    """One next token per row of ``(b, v)`` logits.
+
+    Shared by :func:`generate`, :func:`generate_cached` and the serving
+    scheduler so every decode path draws from the RNG in exactly the same
+    order — the foundation of the token-identity guarantees in tests.
+    """
+    if strategy == "greedy":
+        return np.argmax(logits, axis=-1)
+    scaled = logits / temperature
+    k = min(top_k, scaled.shape[-1])
+    nxt = np.empty(scaled.shape[0], dtype=np.int64)
+    for j in range(scaled.shape[0]):
+        top = np.argpartition(scaled[j], -k)[-k:]
+        probs = np.exp(scaled[j][top] - scaled[j][top].max())
+        probs /= probs.sum()
+        nxt[j] = top[rng.choice(k, p=probs)]
+    return nxt
 
 
 def generate(
@@ -110,17 +138,7 @@ def generate(
                 break
             logits = _next_token_logits(model, ids, sp_chunk=sp_chunk,
                                         max_len=max_len)
-            if strategy == "greedy":
-                nxt = np.argmax(logits, axis=-1)
-            else:
-                scaled = logits / temperature
-                k = min(top_k, scaled.shape[-1])
-                nxt = np.empty(scaled.shape[0], dtype=np.int64)
-                for j in range(scaled.shape[0]):
-                    top = np.argpartition(scaled[j], -k)[-k:]
-                    probs = np.exp(scaled[j][top] - scaled[j][top].max())
-                    probs /= probs.sum()
-                    nxt[j] = top[rng.choice(k, p=probs)]
+            nxt = sample_next(logits, strategy, top_k, temperature, rng)
             ids = np.concatenate([ids, nxt[None, :]], axis=0)
     return ids
 
@@ -161,15 +179,18 @@ class KVCache:
             self.values[layer] = F.concat([self.values[layer], v], axis=0)
 
 
-def _decode_attention(attn, q, keys, values):
+def one_query_attention(num_heads, q, keys, values):
     """One-query attention over cached keys/values (no mask needed: the
-    cache contains only past positions).  Reuses the training ops."""
+    cache contains only past positions).  Reuses the training ops and is
+    shared by :func:`decode_step` and the serving engine's batched step —
+    shapes are per-shard, so it serves both the serial model (``a`` heads
+    on ``h``) and tensor-parallel ranks (``a/t`` heads on ``h/t``)."""
     import math
     from .tensor import functions as F
 
     one, b, h = q.shape
     cur = keys.shape[0]
-    a = attn.num_heads
+    a = num_heads
     d = h // a
     qr = F.transpose(F.reshape(q, (one, b, a, d)), (1, 2, 0, 3))       # (b,a,1,d)
     kt = F.transpose(F.reshape(keys, (cur, b, a, d)), (1, 2, 3, 0))    # (b,a,d,cur)
@@ -179,6 +200,10 @@ def _decode_attention(attn, q, keys, values):
     ctxt = F.matmul(probs, vr)                                         # (b,a,1,d)
     ctxt = F.transpose(ctxt, (2, 0, 1, 3))                             # (1,b,a,d)
     return F.reshape(ctxt, (one, b, h))
+
+
+def _decode_attention(attn, q, keys, values):
+    return one_query_attention(attn.num_heads, q, keys, values)
 
 
 def decode_step(model: GPTModel, cache: KVCache, tokens: np.ndarray) -> np.ndarray:
@@ -215,41 +240,50 @@ def decode_step(model: GPTModel, cache: KVCache, tokens: np.ndarray) -> np.ndarr
     return np.asarray(logits.shards[0])[0]
 
 
-def generate_cached(model: GPTModel, prompt: np.ndarray, max_new_tokens: int,
+def generate_cached(model: AnyGPT, prompt: np.ndarray, max_new_tokens: int,
                     strategy: str = "greedy", top_k: int = 10,
                     temperature: float = 1.0,
-                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+                    rng: Optional[np.random.Generator] = None,
+                    block_size: int = 16) -> np.ndarray:
     """KV-cached autoregressive generation; same contract as
-    :func:`generate` (and verified to produce identical greedy output)."""
+    :func:`generate` (and verified to produce identical output, greedy
+    and top-k, across serial and tensor-parallel layouts).
+
+    Delegates to the serving :class:`~repro.serving.engine.DecodeEngine`:
+    the batch columns become one continuous-batching step each, over a
+    :class:`~repro.serving.kv_cache.PagedKVCache` sized so generation can
+    never run out of blocks.
+    """
+    from .serving.engine import DecodeEngine
+    from .serving.kv_cache import PagedKVCache
+
     if strategy not in ("greedy", "top_k"):
         raise ConfigError(f"unknown decoding strategy {strategy!r}")
+    if temperature <= 0:
+        raise ConfigError("temperature must be positive")
     rng = rng or np.random.default_rng(0)
     ids = np.asarray(prompt, dtype=np.int64)
     if ids.ndim != 2:
         raise ConfigError("prompt must be (length, batch)")
     max_len = model.config.seq_length
+    batch = ids.shape[1]
+    blocks_per_request = -(-max_len // block_size)
+    cache = PagedKVCache(model.config, tensor_parallel=_world(model),
+                         block_size=block_size,
+                         num_blocks=batch * blocks_per_request)
+    engine = DecodeEngine(model, cache)
+    request_ids = [f"gen{j}" for j in range(batch)]
+    for request_id in request_ids:
+        cache.add_request(request_id)
 
     with no_grad(), evaluation(model):
-        cache = KVCache(len(model.layers))
         logits = None
         for position in range(ids.shape[0]):
-            logits = decode_step(model, cache, ids[position:position + 1])
+            logits = engine.decode(request_ids, ids[position])
         for _ in range(max_new_tokens):
-            if cache.length >= max_len:
+            if engine.context_length(request_ids[0]) >= max_len:
                 break
-            if strategy == "greedy":
-                nxt = np.argmax(logits, axis=-1)
-            else:
-                scaled = logits / temperature
-                k = min(top_k, scaled.shape[-1])
-                nxt = np.empty(scaled.shape[0], dtype=np.int64)
-                for j in range(scaled.shape[0]):
-                    top = np.argpartition(scaled[j], -k)[-k:]
-                    probs = np.exp(scaled[j][top] - scaled[j][top].max())
-                    probs /= probs.sum()
-                    nxt[j] = top[rng.choice(k, p=probs)]
+            nxt = sample_next(logits, strategy, top_k, temperature, rng)
             ids = np.concatenate([ids, nxt[None, :]], axis=0)
-            if cache.length >= max_len:
-                break
-            logits = decode_step(model, cache, ids[-1:])
+            logits = engine.decode(request_ids, ids[-1])
     return ids

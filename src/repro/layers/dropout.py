@@ -26,6 +26,19 @@ class Dropout(Module):
         self.shard_axis = shard_axis
         self.tag = tag
         self.mask_source = mask_source
+        #: The training-time probability stashed while in eval mode
+        #: (``None`` while training).  ``p`` itself is zeroed so that every
+        #: consumer — including code that reads ``p`` directly — sees the
+        #: dropout as disabled.
+        self._train_p = None
+
+    def _set_training(self, mode: bool) -> None:
+        """The :meth:`Module.train`/:meth:`Module.eval` hook (idempotent)."""
+        if mode:
+            if self._train_p is not None:
+                self.p, self._train_p = self._train_p, None
+        elif self._train_p is None:
+            self._train_p, self.p = self.p, 0.0
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, mode=self.mode, shard_axis=self.shard_axis,

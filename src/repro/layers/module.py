@@ -47,6 +47,24 @@ class Module:
         for p in self.parameters():
             p.zero_grad()
 
+    def train(self, mode: bool = True) -> "Module":
+        """Put the module (and every submodule) in training mode.
+
+        Only stochastic modules react: each submodule exposing a
+        ``_set_training`` hook (today :class:`~repro.layers.dropout.Dropout`)
+        is switched; everything else is mode-free.  Returns ``self`` so
+        ``model.train()`` / ``model.eval()`` chain like the PyTorch idiom.
+        """
+        for module in self.modules():
+            hook = getattr(module, "_set_training", None)
+            if hook is not None:
+                hook(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Put the module in evaluation mode (all dropout disabled)."""
+        return self.train(False)
+
     def modules(self):
         """Yield this module and every (recursively) contained submodule."""
         yield self

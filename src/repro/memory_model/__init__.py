@@ -13,6 +13,12 @@ from .activations import (
     term_group_categories,
     total_activation_bytes,
 )
+from .kv import (
+    KV_CACHE_DTYPE_BYTES,
+    kv_block_bytes,
+    kv_blocks_for_tokens,
+    kv_cache_bytes,
+)
 from .pipeline import (
     PipelineMemoryProfile,
     in_flight_microbatches,
@@ -31,11 +37,12 @@ from .weights import (
 )
 
 __all__ = [
-    "BYTES_PER_PARAM_MIXED_PRECISION", "MemoryBudget",
+    "BYTES_PER_PARAM_MIXED_PRECISION", "KV_CACHE_DTYPE_BYTES", "MemoryBudget",
     "OPTIMIZER_STATE_BYTES_PER_PARAM", "PipelineMemoryProfile",
     "Table2Row", "figure1_budget", "first_stage_layers_worth",
     "in_flight_microbatches", "input_output_extras_bytes",
-    "interleave_memory_factor", "memory_fraction_of_tp_baseline",
+    "interleave_memory_factor", "kv_block_bytes", "kv_blocks_for_tokens",
+    "kv_cache_bytes", "memory_fraction_of_tp_baseline",
     "microbatch_recompute_window", "parameter_count", "parameters_per_rank",
     "per_layer_activation_bytes", "per_layer_breakdown",
     "per_layer_term_groups", "pipeline_memory_profile",

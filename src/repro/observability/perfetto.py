@@ -4,8 +4,8 @@ One trace file interleaves every instrumented event source on the same
 simulated-time axis:
 
 * one **pid** per subsystem (``train``, ``compute``, ``comm``,
-  ``memory``, ``checkpoint``, ``resilience``, ``pipeline``), named with
-  ``process_name`` metadata events;
+  ``memory``, ``checkpoint``, ``resilience``, ``pipeline``,
+  ``serving``), named with ``process_name`` metadata events;
 * one **tid** per rank inside a subsystem, named with ``thread_name``
   metadata events;
 * duration events (``ph: "X"``) for tracer spans, instant events
@@ -37,6 +37,7 @@ SUBSYSTEM_PIDS: Dict[str, int] = {
     "checkpoint": 5,
     "resilience": 6,
     "pipeline": 7,
+    "serving": 8,
 }
 
 #: Chrome traces use microseconds; tracer clocks are simulated seconds.
@@ -166,6 +167,15 @@ def export_trace(tracer: Tracer, path: str,
 #: can legitimately produce.  Anything else is a schema violation.
 KNOWN_PHASES = frozenset({"M", "X", "i", "I", "C", "B", "E"})
 
+#: Legal ``args["phase"]`` tags on spans: the training execution phases
+#: plus the serving lifecycle phases the scheduler emits.  The offline
+#: analysis buckets by these strings, so an unknown tag would silently
+#: fall out of every attribution — fail loudly here instead.
+SPAN_PHASES = frozenset({
+    "forward", "backward", "recompute",            # ExecutionPhase values
+    "prefill", "decode", "preempt", "resume",      # serving lifecycle
+})
+
 
 def validate_trace_events(events: List[dict]) -> None:
     """Assert the Perfetto-loadable schema contract; raises ``ValueError``.
@@ -174,8 +184,9 @@ def validate_trace_events(events: List[dict]) -> None:
     ``ph``, every non-metadata event has ``ts/pid/tid`` with integer
     non-negative pid/tid and non-negative ts, duration events carry
     non-negative ``dur``, ``ts`` is monotone non-decreasing within each
-    ``(pid, tid)`` track, and every pid that emits events also carries
-    ``process_name`` metadata.
+    ``(pid, tid)`` track, every pid that emits events also carries
+    ``process_name`` metadata, and any ``args["phase"]`` tag on a span
+    is a known training or serving phase (:data:`SPAN_PHASES`).
     """
     last_ts: Dict[tuple, float] = {}
     named_pids = set()
@@ -205,6 +216,9 @@ def validate_trace_events(events: List[dict]) -> None:
                 raise ValueError(f"duration event missing 'dur': {event!r}")
             if event["dur"] < 0:
                 raise ValueError(f"negative dur: {event!r}")
+            tag = event.get("args", {}).get("phase")
+            if tag is not None and tag not in SPAN_PHASES:
+                raise ValueError(f"unknown span phase tag {tag!r}: {event!r}")
         if ph in ("X", "i", "I"):
             track = (event["pid"], event["tid"])
             if event["ts"] < last_ts.get(track, 0.0):

@@ -1,0 +1,195 @@
+"""Batched incremental decoding over the paged KV cache.
+
+One engine drives prefill and decode for a *ragged* batch of requests —
+each at its own context length — against a serial :class:`GPTModel` or a
+concrete :class:`ParallelGPTModel` (any TP / TP+SP layout).  The step is
+verified token-identical to the uncached :func:`repro.inference.generate`
+full-forward path on every layout (``tests/test_serving.py``).
+
+Numerics notes:
+
+* all math runs under ``no_grad`` + ``evaluation`` (dropout off), so the
+  tensor-parallel conjugate operators degenerate: ``f`` is the identity
+  (its all-reduce lives in backward) and the sequence-parallel
+  scatter/gather pairs become pure layout shuffles of replicated data.
+  The engine therefore executes the *tensor-parallel* dataflow — column
+  matmul, shard-local attention on ``a/t`` heads, row matmul + ``f̄``
+  all-reduce — for SP models too, which is numerically identical with
+  dropout disabled (matmuls are row-independent and the all-reduce adds
+  shards in the same order);
+* a decode step consumes exactly one token per request; positions come
+  from the cache's block tables, so requests join and leave freely
+  between steps (continuous batching);
+* the single-query attention core is shared with
+  :func:`repro.inference.decode_step` (``one_query_attention``) so the
+  two cached decode paths cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..inference import evaluation, one_query_attention
+from ..layers.embedding import token_tensor
+from ..layers.transformer import GPTModel
+from ..parallel.embedding import VocabParallelLookup
+from ..parallel.mappings import reduce_from_tensor_parallel_region
+from ..parallel.transformer import ParallelGPTModel
+from ..tensor import FP16, FP32, Tensor, no_grad
+from ..tensor import functions as F
+from ..tensor.tensor import apply
+from .kv_cache import KVCacheFull, PagedKVCache
+
+AnyGPT = Union[GPTModel, ParallelGPTModel]
+
+
+class DecodeEngine:
+    """Prefill/decode executor binding one model to one paged KV cache."""
+
+    def __init__(self, model: AnyGPT, cache: PagedKVCache):
+        world = getattr(getattr(model, "group", None), "size", 1)
+        if cache.world != world:
+            raise ConfigError(
+                f"cache built for {cache.world} rank(s), model has {world}")
+        if cache.config.num_layers != len(model.layers):
+            raise ConfigError("cache and model disagree on num_layers")
+        if cache.h_local * cache.world != model.config.hidden_size:
+            raise ConfigError("cache and model disagree on hidden_size")
+        self.model = model
+        self.cache = cache
+        self.world = world
+        self.parallel = isinstance(model, ParallelGPTModel)
+        self.max_context = model.config.seq_length
+
+    # -- request lifecycle (thin cache passthroughs) -----------------------
+    def context_length(self, request_id: str) -> int:
+        return self.cache.num_tokens(request_id)
+
+    def prefill(self, request_id: str, tokens: np.ndarray) -> np.ndarray:
+        """Admit a request and run its prompt; returns the ``(v,)`` logits
+        for the position after the last prompt token."""
+        tokens = np.asarray(tokens, dtype=np.int64).reshape(-1)
+        if tokens.size == 0:
+            raise ConfigError("prefill needs at least one prompt token")
+        self.cache.add_request(request_id)
+        logits = None
+        for token in tokens:
+            logits = self.decode([request_id], [token])
+        return logits[0]
+
+    def decode(self, request_ids: Sequence[str],
+               tokens: Sequence[int]) -> np.ndarray:
+        """Advance every request by one token; returns ``(B, v)`` logits.
+
+        Atomic with respect to the cache: the needed fresh blocks are
+        counted up front and :class:`KVCacheFull` is raised *before* any
+        slot is claimed, so a failed step leaves no request half-advanced.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64).reshape(-1)
+        if len(request_ids) == 0 or tokens.shape[0] != len(request_ids):
+            raise ConfigError("decode needs one token per request")
+        need = sum(1 for r in request_ids if self.cache.needs_block(r))
+        if need > self.cache.free_blocks:
+            raise KVCacheFull(
+                f"decode step needs {need} fresh block(s); "
+                f"{self.cache.free_blocks} free")
+        for request_id in request_ids:
+            if self.cache.num_tokens(request_id) >= self.max_context:
+                raise ConfigError(
+                    f"request {request_id!r} is at the model's maximum "
+                    "sequence length")
+        positions = [self.cache.reserve_token(r) for r in request_ids]
+        with no_grad(), evaluation(self.model):
+            return self._forward(list(request_ids), tokens, positions)
+
+    def finish(self, request_id: str) -> None:
+        self.cache.free_request(request_id)
+
+    def swap_out(self, request_id: str):
+        return self.cache.swap_out(request_id)
+
+    def swap_in(self, swapped) -> None:
+        self.cache.swap_in(swapped)
+
+    # -- the model step ----------------------------------------------------
+    def _position_rows(self, positions: List[int]) -> Tensor:
+        """Per-request positional-embedding rows as a ``(1, B, h)`` tensor
+        (the batch is ragged, so each row indexes its own position)."""
+        rows = [np.asarray(shard)[positions, 0, :][None]
+                for shard in self.model.embedding.position.shards]
+        return Tensor(rows, dtype=FP16, layout="replicated", name="pos_rows")
+
+    def _cached_kv(self, request_id: str,
+                   layer: int) -> Tuple[Tensor, Tensor]:
+        """One request's cached K and V as ``(n, 1, h_local)`` tensors."""
+        keys, values = [], []
+        for rank in range(self.world):
+            k, v = self.cache.gather(request_id, layer, rank)
+            keys.append(k[:, None, :])
+            values.append(v[:, None, :])
+        layout = "replicated" if self.world == 1 else "shard(dim=2)"
+        return (Tensor(keys, dtype=FP16, layout=layout),
+                Tensor(values, dtype=FP16, layout=layout))
+
+    def _forward(self, request_ids: List[str], tokens: np.ndarray,
+                 positions: List[int]) -> np.ndarray:
+        model = self.model
+        ids = token_tensor(tokens[None, :], world=self.world)
+        if self.parallel:
+            partial = apply(VocabParallelLookup(), model.embedding.word, ids)
+            x = reduce_from_tensor_parallel_region(partial, model.group)
+        else:
+            x = F.embedding(model.embedding.word, ids)
+        x = F.add(x, self._position_rows(positions))
+
+        for index, layer in enumerate(model.layers):
+            h = layer.ln1(x)
+            if self.parallel:
+                qkv = F.add(F.matmul(h, layer.attn.qkv.weight),
+                            layer.attn.qkv.bias)
+                q, k, v = F.split(qkv, 3, axis=-1)
+                heads = layer.attn.core.num_heads
+            else:
+                q, k, v = (layer.attn.wq(h), layer.attn.wk(h),
+                           layer.attn.wv(h))
+                heads = layer.attn.num_heads
+            for rank in range(self.world):
+                k_arr = np.asarray(k.shards[rank])
+                v_arr = np.asarray(v.shards[rank])
+                for j, request_id in enumerate(request_ids):
+                    self.cache.write(request_id, index, rank, positions[j],
+                                     k_arr[0, j], v_arr[0, j])
+            parts = []
+            for j, request_id in enumerate(request_ids):
+                keys, values = self._cached_kv(request_id, index)
+                q_j = F.slice_axis(q, 1, j, j + 1)
+                parts.append(one_query_attention(heads, q_j, keys, values))
+            ctxt = parts[0] if len(parts) == 1 else F.concat(parts, axis=1)
+            if self.parallel:
+                out = reduce_from_tensor_parallel_region(
+                    F.matmul(ctxt, layer.attn.wo.weight), model.group)
+                out = F.add(out, layer.attn.wo.bias)
+            else:
+                out = layer.attn.wo(ctxt)
+            x = F.add(out, x)
+            h2 = layer.ln2(x)
+            if self.parallel:
+                y = F.gelu(F.add(F.matmul(h2, layer.mlp.fc1.weight),
+                                 layer.mlp.fc1.bias))
+                y = reduce_from_tensor_parallel_region(
+                    F.matmul(y, layer.mlp.fc2.weight), model.group)
+                y = F.add(y, layer.mlp.fc2.bias)
+            else:
+                y = layer.mlp(h2)
+            x = F.add(y, x)
+
+        if self.parallel:
+            z = model.head.ln_f(x)
+            logits = F.cast(F.matmul(z, model.head.proj.weight), FP32)
+            return np.concatenate(
+                [np.asarray(s)[0] for s in logits.shards], axis=-1)
+        logits = model.head.logits(x)
+        return np.asarray(logits.shards[0])[0]

@@ -1,0 +1,299 @@
+"""Paged KV-cache allocator with byte-exact memory accounting.
+
+The serving analogue of the paper's activation bookkeeping: at decode
+time the per-layer K/V tensors play the role of saved activations, and
+their footprint must be *known in closed form* (``memory_model.
+kv_cache_bytes``) and *measured with zero drift* (every physical block
+registered in the :class:`~repro.tensor.MemoryTracker` under the
+``kv_cache`` category).
+
+Layout (vLLM-style paging):
+
+* device memory is carved into ``num_blocks`` fixed blocks of
+  ``block_size`` token slots; a block reserves its slots in **every**
+  layer's K and V store at once, so one per-request block table indexes
+  all layers;
+* each request owns a :class:`BlockTable` — an ordered list of physical
+  block ids covering its token positions — and blocks return to the pool
+  (and their tracker charge is released) the moment the request
+  finishes, is dropped for recompute-resume, or is swapped out;
+* block ids come from a :class:`~repro.allocator.FirstFitAllocator`
+  managing the byte arena, so exhaustion, reuse order and the reserved
+  high-water mark follow the repo's existing allocator semantics
+  (equal-size aligned requests make first-fit exact: offsets are
+  deterministic and ``offset // block_bytes`` is the block id).
+
+Concrete K/V math is stored in float64 (like all simulation math) while
+bytes are accounted at FP16 width — the same convention the activation
+tracker uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..allocator import FirstFitAllocator
+from ..config import ModelConfig
+from ..errors import ConfigError, PlanningError
+from ..memory_model.kv import (
+    kv_block_bytes,
+    kv_blocks_for_tokens,
+    kv_cache_bytes,
+)
+from ..tensor import MemoryTracker
+from ..tensor.dtypes import FP16
+
+
+class KVCacheFull(PlanningError):
+    """No free block: admission must wait or a running request must be
+    preempted (the scheduler's save-vs-recompute decision point)."""
+
+
+@dataclass
+class BlockTable:
+    """One request's ordered map from logical block index to block id."""
+
+    request_id: str
+    block_ids: List[int] = field(default_factory=list)
+    num_tokens: int = 0
+
+
+@dataclass(frozen=True)
+class SwappedKV:
+    """Host-side copy of a preempted request's cache (the *swap* policy).
+
+    ``data[(rank, layer)]`` holds ``(keys, values)`` arrays of shape
+    ``(num_tokens, h_local)``; swap-in restores them bit-exactly.
+    """
+
+    request_id: str
+    num_tokens: int
+    data: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]]
+
+    @property
+    def nbytes(self) -> int:
+        """Accounting (FP16) bytes moved per rank by one swap direction."""
+        per_rank = [v[0].shape[1] for (r, _l), v in self.data.items() if r == 0]
+        h_local = per_rank[0] if per_rank else 0
+        layers = sum(1 for (r, _l) in self.data if r == 0)
+        return 2 * self.num_tokens * h_local * layers * FP16.nbytes
+
+
+class PagedKVCache:
+    """Fixed-block KV cache for one model replica (serial or TP).
+
+    ``tracker`` charges live every granted block, per rank, under the
+    ``kv_cache`` category; :meth:`drift_bytes` must therefore always be
+    exactly zero against the closed-form formula — asserted in tests and
+    gated by the ``serve`` bench preset.
+    """
+
+    CATEGORY = "kv_cache"
+
+    def __init__(self, config: ModelConfig, tensor_parallel: int = 1,
+                 block_size: int = 16, num_blocks: int = 64,
+                 tracker: Optional[MemoryTracker] = None):
+        if tensor_parallel < 1:
+            raise ConfigError("tensor_parallel must be >= 1")
+        if config.hidden_size % tensor_parallel != 0:
+            raise ConfigError("hidden_size must divide by tensor_parallel")
+        if block_size < 1 or num_blocks < 1:
+            raise ConfigError("block_size and num_blocks must be >= 1")
+        self.config = config
+        self.world = tensor_parallel
+        self.block_size = block_size
+        self.num_blocks = num_blocks
+        self.h_local = config.hidden_size // tensor_parallel
+        self.tracker = tracker if tracker is not None else MemoryTracker()
+        #: Per-rank bytes of one block across all layers (the allocator's
+        #: request size, also the alignment — offsets stay block-exact).
+        self.block_bytes = kv_block_bytes(config, block_size, tensor_parallel)
+        self.arena = FirstFitAllocator(
+            capacity=num_blocks * self.block_bytes,
+            alignment=self.block_bytes)
+        self._handles: Dict[int, int] = {}          # block id -> arena handle
+        # Physical stores, created lazily and owned for the cache's
+        # lifetime: _store[rank][layer][block id] is a (2, block_size,
+        # h_local) float64 array (K at [0], V at [1]).
+        self._store: List[List[List[Optional[np.ndarray]]]] = [
+            [[None] * num_blocks for _ in range(config.num_layers)]
+            for _ in range(tensor_parallel)
+        ]
+        self._tables: Dict[str, BlockTable] = {}
+        self.peak_blocks_in_use = 0
+
+    # -- pool state --------------------------------------------------------
+    @property
+    def blocks_in_use(self) -> int:
+        return len(self._handles)
+
+    @property
+    def free_blocks(self) -> int:
+        return self.num_blocks - self.blocks_in_use
+
+    def blocks_for_tokens(self, num_tokens: int) -> int:
+        return kv_blocks_for_tokens(num_tokens, self.block_size)
+
+    def can_admit(self, num_tokens: int) -> bool:
+        """Would a request needing ``num_tokens`` slots fit right now?"""
+        return self.blocks_for_tokens(num_tokens) <= self.free_blocks
+
+    def requests(self) -> List[str]:
+        return list(self._tables)
+
+    def block_table(self, request_id: str) -> BlockTable:
+        table = self._tables.get(request_id)
+        if table is None:
+            raise ConfigError(f"unknown request {request_id!r}")
+        return table
+
+    def num_tokens(self, request_id: str) -> int:
+        return self.block_table(request_id).num_tokens
+
+    # -- block grant/release ----------------------------------------------
+    def _grant_block(self) -> int:
+        try:
+            handle = self.arena.alloc(self.block_bytes)
+        except PlanningError as error:
+            raise KVCacheFull(str(error)) from error
+        block = self.arena.offset_of(handle) // self.block_bytes
+        self._handles[block] = handle
+        for rank in range(self.world):
+            for layer in range(self.config.num_layers):
+                store = self._store[rank][layer][block]
+                if store is None:
+                    store = np.zeros((2, self.block_size, self.h_local))
+                    self._store[rank][layer][block] = store
+                self.tracker.save(rank, store, FP16, category=self.CATEGORY)
+        self.peak_blocks_in_use = max(self.peak_blocks_in_use,
+                                      self.blocks_in_use)
+        return block
+
+    def _release_block(self, block: int) -> None:
+        handle = self._handles.pop(block)
+        self.arena.free(handle)
+        for rank in range(self.world):
+            for layer in range(self.config.num_layers):
+                self.tracker.release(rank, self._store[rank][layer][block])
+
+    # -- request lifecycle -------------------------------------------------
+    def add_request(self, request_id: str) -> BlockTable:
+        if request_id in self._tables:
+            raise ConfigError(f"request {request_id!r} already cached")
+        table = BlockTable(request_id)
+        self._tables[request_id] = table
+        return table
+
+    def reserve_token(self, request_id: str) -> int:
+        """Claim the next token slot; grows the table by one block when
+        its capacity is exhausted.  Returns the slot's position.  Raises
+        :class:`KVCacheFull` (leaving the table unchanged) when the pool
+        is empty — the scheduler's preemption trigger."""
+        table = self.block_table(request_id)
+        if table.num_tokens == len(table.block_ids) * self.block_size:
+            table.block_ids.append(self._grant_block())
+        position = table.num_tokens
+        table.num_tokens += 1
+        return position
+
+    def needs_block(self, request_id: str) -> bool:
+        """Will the next :meth:`reserve_token` need a fresh block?"""
+        table = self.block_table(request_id)
+        return table.num_tokens == len(table.block_ids) * self.block_size
+
+    def free_request(self, request_id: str) -> List[int]:
+        """Return a finished/preempted request's blocks to the pool."""
+        table = self.block_table(request_id)
+        for block in table.block_ids:
+            self._release_block(block)
+        del self._tables[request_id]
+        return table.block_ids
+
+    # -- K/V data plane ----------------------------------------------------
+    def _locate(self, table: BlockTable, position: int) -> Tuple[int, int]:
+        if not 0 <= position < table.num_tokens:
+            raise ConfigError(
+                f"position {position} outside request {table.request_id!r} "
+                f"({table.num_tokens} token(s))")
+        return (table.block_ids[position // self.block_size],
+                position % self.block_size)
+
+    def write(self, request_id: str, layer: int, rank: int, position: int,
+              k_row: np.ndarray, v_row: np.ndarray) -> None:
+        """Store one position's K/V rows (``(h_local,)`` each)."""
+        table = self.block_table(request_id)
+        block, offset = self._locate(table, position)
+        store = self._store[rank][layer][block]
+        store[0, offset] = k_row
+        store[1, offset] = v_row
+
+    def gather(self, request_id: str, layer: int,
+               rank: int) -> Tuple[np.ndarray, np.ndarray]:
+        """All cached ``(keys, values)`` for a request, each
+        ``(num_tokens, h_local)`` in position order."""
+        table = self.block_table(request_id)
+        n = table.num_tokens
+        keys = np.empty((n, self.h_local))
+        values = np.empty((n, self.h_local))
+        for start in range(0, n, self.block_size):
+            take = min(self.block_size, n - start)
+            store = self._store[rank][layer][table.block_ids[start // self.block_size]]
+            keys[start:start + take] = store[0, :take]
+            values[start:start + take] = store[1, :take]
+        return keys, values
+
+    # -- preemption --------------------------------------------------------
+    def swap_out(self, request_id: str) -> SwappedKV:
+        """Copy a request's cache to the host and free its blocks."""
+        table = self.block_table(request_id)
+        data = {
+            (rank, layer): self.gather(request_id, layer, rank)
+            for rank in range(self.world)
+            for layer in range(self.config.num_layers)
+        }
+        self.free_request(request_id)
+        return SwappedKV(request_id=request_id, num_tokens=table.num_tokens,
+                         data=data)
+
+    def swap_in(self, swapped: SwappedKV) -> None:
+        """Restore a swapped request bit-exactly (raises
+        :class:`KVCacheFull` untouched when blocks are short)."""
+        if not self.can_admit(swapped.num_tokens):
+            raise KVCacheFull(
+                f"swap-in of {swapped.request_id!r} needs "
+                f"{self.blocks_for_tokens(swapped.num_tokens)} block(s); "
+                f"{self.free_blocks} free")
+        self.add_request(swapped.request_id)
+        for _ in range(swapped.num_tokens):
+            self.reserve_token(swapped.request_id)
+        table = self.block_table(swapped.request_id)
+        for (rank, layer), (keys, values) in swapped.data.items():
+            for start in range(0, swapped.num_tokens, self.block_size):
+                take = min(self.block_size, swapped.num_tokens - start)
+                store = self._store[rank][layer][table.block_ids[start // self.block_size]]
+                store[0, :take] = keys[start:start + take]
+                store[1, :take] = values[start:start + take]
+
+    # -- accounting --------------------------------------------------------
+    def expected_bytes(self) -> float:
+        """Closed-form bytes per rank for the current resident requests."""
+        return kv_cache_bytes(
+            self.config,
+            [len(t.block_ids) * self.block_size for t in self._tables.values()],
+            tensor_parallel=self.world)
+
+    def measured_bytes(self, rank: int = 0) -> int:
+        """The tracker's live ``kv_cache`` bytes on one rank."""
+        return self.tracker.category_breakdown(rank).get(self.CATEGORY, 0)
+
+    def drift_bytes(self) -> float:
+        """Max |tracker - formula| over ranks; must be exactly 0.0."""
+        expected = self.expected_bytes()
+        return max(abs(self.measured_bytes(rank) - expected)
+                   for rank in range(self.world))
+
+    def occupancy(self) -> float:
+        return self.blocks_in_use / self.num_blocks

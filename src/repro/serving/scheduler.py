@@ -1,0 +1,341 @@
+"""Continuous-batching scheduler: iteration-level join/leave, block-based
+admission, and preemption with swap or recompute-from-prompt resume.
+
+The scheduler owns the single simulated clock: every prefill, decode,
+preempt and resume advances it by the :class:`ServingPerfModel` duration
+of the work, inside a tracer span tagged with the matching serving phase
+(``prefill`` / ``decode`` / ``preempt`` / ``resume``), so `repro trace`
+renders a serving run exactly like a training run.
+
+Determinism contract (asserted in tests): request workloads come from a
+seeded open-loop generator, each request samples from its *own*
+``default_rng((seed, index))`` stream, and all durations are pure
+functions of the workload — so equal seeds produce byte-identical
+reports, and a request's token sequence is invariant under preemption
+(swap restores K/V bit-exactly; recompute replays the identical engine
+math).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..errors import ConfigError, PlanningError
+from ..inference import sample_next
+from ..observability.serialize import dumps_json
+from ..observability.tracer import Tracer, span_or_null
+from .engine import DecodeEngine
+from .kv_cache import SwappedKV
+from .perf import ServingPerfModel
+
+POLICIES = ("swap", "recompute")
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One open-loop request: arrival time, prompt, generation budget."""
+
+    index: int
+    request_id: str
+    arrival_s: float
+    prompt: np.ndarray
+    max_new_tokens: int
+
+
+def generate_requests(config: ModelConfig, num_requests: int, seed: int,
+                      arrival_rate: float = 200.0,
+                      prompt_lengths: Tuple[int, int] = (2, 8),
+                      new_tokens: Tuple[int, int] = (2, 12)) -> List[RequestSpec]:
+    """Seeded open-loop workload: exponential interarrivals, uniform
+    prompt lengths and generation budgets (clamped to the model window)."""
+    if num_requests < 1 or arrival_rate <= 0:
+        raise ConfigError("need num_requests >= 1 and arrival_rate > 0")
+    rng = np.random.default_rng(seed)
+    clock = 0.0
+    specs: List[RequestSpec] = []
+    for i in range(num_requests):
+        clock += float(rng.exponential(1.0 / arrival_rate))
+        plen = int(rng.integers(prompt_lengths[0], prompt_lengths[1] + 1))
+        plen = min(plen, config.seq_length - 1)
+        budget = int(rng.integers(new_tokens[0], new_tokens[1] + 1))
+        budget = min(budget, config.seq_length - plen)
+        prompt = rng.integers(0, config.vocab_size, size=plen).astype(np.int64)
+        specs.append(RequestSpec(index=i, request_id=f"req{i}",
+                                 arrival_s=clock, prompt=prompt,
+                                 max_new_tokens=budget))
+    return specs
+
+
+@dataclass
+class _Running:
+    spec: RequestSpec
+    rng: np.random.Generator
+    logits: np.ndarray
+    order: int
+    admitted_s: float
+    tokens: List[int] = field(default_factory=list)
+    token_latencies: List[float] = field(default_factory=list)
+    preemptions: int = 0
+
+
+@dataclass
+class ServeReport:
+    """Canonical, seed-deterministic summary of one serving run."""
+
+    policy: str
+    seed: int
+    num_requests: int
+    completed: int
+    preemptions: int
+    resumes: int
+    tokens_generated: int
+    elapsed_s: float
+    tokens_per_s: float
+    p50_token_latency_s: float
+    p95_token_latency_s: float
+    kv_drift_bytes: float
+    peak_kv_occupancy: float
+    per_request: List[dict]
+    timeline: List[dict]
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "seed": self.seed,
+            "num_requests": self.num_requests,
+            "completed": self.completed,
+            "preemptions": self.preemptions,
+            "resumes": self.resumes,
+            "tokens_generated": self.tokens_generated,
+            "elapsed_s": self.elapsed_s,
+            "tokens_per_s": self.tokens_per_s,
+            "p50_token_latency_s": self.p50_token_latency_s,
+            "p95_token_latency_s": self.p95_token_latency_s,
+            "kv_drift_bytes": self.kv_drift_bytes,
+            "peak_kv_occupancy": self.peak_kv_occupancy,
+            "per_request": self.per_request,
+            "timeline": self.timeline,
+        }
+
+    def to_json(self) -> str:
+        return dumps_json(self.to_dict())
+
+
+class ContinuousBatchingScheduler:
+    """Iteration-level scheduler over one :class:`DecodeEngine`.
+
+    Each loop iteration: resume preempted requests (FCFS), admit arrived
+    requests while KV blocks allow, preempt the youngest running request
+    while the coming decode step is short of blocks, then advance every
+    running request by one token.  ``policy`` picks what preemption does
+    with the victim's KV state: ``"swap"`` copies it to the host and
+    restores it bit-exactly; ``"recompute"`` drops it and replays the
+    prompt + generated tokens on resume.
+    """
+
+    def __init__(self, engine: DecodeEngine, perf: ServingPerfModel,
+                 policy: str = "swap", max_batch: int = 8, seed: int = 0,
+                 strategy: str = "greedy", top_k: int = 10,
+                 temperature: float = 1.0, tracer: Optional[Tracer] = None):
+        if policy not in POLICIES:
+            raise ConfigError(f"unknown preemption policy {policy!r}")
+        if max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
+        self.engine = engine
+        self.perf = perf
+        self.policy = policy
+        self.max_batch = max_batch
+        self.seed = seed
+        self.strategy = strategy
+        self.top_k = top_k
+        self.temperature = temperature
+        self.tracer = tracer
+        self.clock = 0.0
+        self.preemptions = 0
+        self.resumes = 0
+        self.max_drift = 0.0
+        self._order = 0
+        self._running: Dict[str, _Running] = {}
+        self._preempted: Deque[Tuple[_Running, Optional[SwappedKV]]] = deque()
+        self._timeline: List[dict] = []
+        self._finished: List[_Running] = []
+        self._finish_times: Dict[str, float] = {}
+
+    # -- clock/trace helpers ----------------------------------------------
+    def _advance(self, seconds: float) -> None:
+        self.clock += seconds
+        if self.tracer is not None:
+            self.tracer.advance(seconds)
+
+    def _span(self, name: str, phase: str, **args):
+        return span_or_null(self.tracer, name, subsystem="serving",
+                            phase=phase, **args)
+
+    def _event(self, event: str, **fields) -> None:
+        entry = {"t": self.clock, "event": event}
+        entry.update(fields)
+        self._timeline.append(entry)
+
+    def _next_order(self) -> int:
+        self._order += 1
+        return self._order
+
+    # -- scheduling steps --------------------------------------------------
+    def _admit(self, spec: RequestSpec) -> None:
+        with self._span("serve.prefill", "prefill", request=spec.request_id,
+                        tokens=len(spec.prompt)):
+            logits = self.engine.prefill(spec.request_id, spec.prompt)
+            self._advance(self.perf.prefill_time(len(spec.prompt)))
+        self._running[spec.request_id] = _Running(
+            spec=spec, rng=np.random.default_rng((self.seed, spec.index)),
+            logits=logits, order=self._next_order(), admitted_s=self.clock)
+        self._event("admit", request=spec.request_id)
+
+    def _preempt_youngest(self) -> None:
+        if len(self._running) <= 1:
+            raise PlanningError(
+                "KV pool cannot hold a single request's context; "
+                "raise num_blocks or block_size")
+        state = max(self._running.values(), key=lambda s: s.order)
+        request_id = state.spec.request_id
+        state.preemptions += 1
+        self.preemptions += 1
+        with self._span("serve.preempt", "preempt", request=request_id,
+                        policy=self.policy):
+            if self.policy == "swap":
+                swapped = self.engine.swap_out(request_id)
+                self._advance(self.perf.swap_time(swapped.nbytes
+                                                  * self.engine.world))
+            else:
+                swapped = None
+                self.engine.finish(request_id)
+        del self._running[request_id]
+        self._preempted.append((state, swapped))
+        self._event("preempt", request=request_id, policy=self.policy)
+
+    def _resume_preempted(self) -> None:
+        while self._preempted and len(self._running) < self.max_batch:
+            state, swapped = self._preempted[0]
+            spec = state.spec
+            resident = len(spec.prompt) + len(state.tokens)
+            if not self.engine.cache.can_admit(resident + 1):
+                return  # FCFS: do not let younger work jump the queue
+            self._preempted.popleft()
+            with self._span("serve.resume", "resume", request=spec.request_id,
+                            policy=self.policy):
+                if swapped is not None:
+                    self.engine.swap_in(swapped)
+                    self._advance(self.perf.swap_time(swapped.nbytes
+                                                      * self.engine.world))
+                else:
+                    replay = np.concatenate(
+                        [spec.prompt,
+                         np.asarray(state.tokens, dtype=np.int64)])
+                    state.logits = self.engine.prefill(spec.request_id, replay)
+                    self._advance(self.perf.prefill_time(len(replay)))
+            state.order = self._next_order()
+            self._running[spec.request_id] = state
+            self.resumes += 1
+            self._event("resume", request=spec.request_id, policy=self.policy)
+
+    def _finish(self, state: _Running) -> None:
+        self.engine.finish(state.spec.request_id)
+        self._finished.append(state)
+        self._finish_times[state.spec.request_id] = self.clock
+        self._event("finish", request=state.spec.request_id,
+                    tokens=len(state.tokens))
+
+    def _decode_iteration(self) -> None:
+        while sum(1 for r in self._running
+                  if self.engine.cache.needs_block(r)) \
+                > self.engine.cache.free_blocks:
+            self._preempt_youngest()
+        batch = sorted(self._running.values(), key=lambda s: s.order)
+        request_ids = [s.spec.request_id for s in batch]
+        tokens = [int(sample_next(s.logits[None, :], self.strategy,
+                                  self.top_k, self.temperature, s.rng)[0])
+                  for s in batch]
+        contexts = [self.engine.context_length(r) + 1 for r in request_ids]
+        step = self.perf.decode_step_time(len(batch), contexts)
+        with self._span("serve.decode", "decode", batch=len(batch)):
+            logits = self.engine.decode(request_ids, tokens)
+            self._advance(step)
+        self._event("decode", requests=request_ids, tokens=tokens)
+        self.max_drift = max(self.max_drift, self.engine.cache.drift_bytes())
+        for j, state in enumerate(batch):
+            state.tokens.append(tokens[j])
+            state.logits = logits[j]
+            state.token_latencies.append(step)
+            done = (len(state.tokens) >= state.spec.max_new_tokens
+                    or self.engine.context_length(state.spec.request_id)
+                    >= self.engine.max_context)
+            if done:
+                del self._running[state.spec.request_id]
+                self._finish(state)
+
+    # -- the loop ----------------------------------------------------------
+    def run(self, specs: Sequence[RequestSpec]) -> ServeReport:
+        pending: Deque[RequestSpec] = deque(
+            sorted(specs, key=lambda s: (s.arrival_s, s.index)))
+        waiting: Deque[RequestSpec] = deque()
+        while pending or waiting or self._preempted or self._running:
+            while pending and pending[0].arrival_s <= self.clock:
+                spec = pending.popleft()
+                waiting.append(spec)
+                self._event("arrive", request=spec.request_id)
+            self._resume_preempted()
+            while (waiting and len(self._running) < self.max_batch
+                   and not self._preempted    # preempted work resumes first
+                   and self.engine.cache.can_admit(len(waiting[0].prompt) + 1)):
+                self._admit(waiting.popleft())
+            if not self._running:
+                if pending:
+                    self._advance(pending[0].arrival_s - self.clock)
+                    continue
+                raise PlanningError(
+                    "serving deadlock: requests remain but none fit the KV "
+                    "pool; raise num_blocks")
+            self._decode_iteration()
+        return self._report(list(specs))
+
+    def _report(self, specs: List[RequestSpec]) -> ServeReport:
+        states = {s.spec.request_id: s for s in self._finished}
+        latencies = [lat for s in self._finished for lat in s.token_latencies]
+        total_tokens = sum(len(s.tokens) for s in self._finished)
+        per_request = []
+        for spec in sorted(specs, key=lambda s: s.index):
+            state = states[spec.request_id]
+            per_request.append({
+                "request_id": spec.request_id,
+                "arrival_s": spec.arrival_s,
+                "admitted_s": state.admitted_s,
+                "finished_s": self._finish_times[spec.request_id],
+                "prompt_tokens": int(len(spec.prompt)),
+                "generated_tokens": state.tokens,
+                "preemptions": state.preemptions,
+            })
+        return ServeReport(
+            policy=self.policy,
+            seed=self.seed,
+            num_requests=len(specs),
+            completed=len(self._finished),
+            preemptions=self.preemptions,
+            resumes=self.resumes,
+            tokens_generated=total_tokens,
+            elapsed_s=self.clock,
+            tokens_per_s=total_tokens / self.clock if self.clock > 0 else 0.0,
+            p50_token_latency_s=float(np.percentile(latencies, 50))
+            if latencies else 0.0,
+            p95_token_latency_s=float(np.percentile(latencies, 95))
+            if latencies else 0.0,
+            kv_drift_bytes=self.max_drift,
+            peak_kv_occupancy=self.engine.cache.peak_blocks_in_use
+            / self.engine.cache.num_blocks,
+            per_request=per_request,
+            timeline=self._timeline,
+        )

@@ -127,6 +127,29 @@ class Trainer:
             max_retries=max_retries, backoff_base_s=backoff_base_s,
             backoff_factor=backoff_factor)
 
+    def evaluate(self, ids: np.ndarray, targets: np.ndarray) -> float:
+        """Validation loss on one ``(s, b)`` batch.
+
+        The model is flipped to :meth:`Module.eval` (dropout off — the
+        stochastic regularizer must not perturb the validation metric)
+        and restored to training mode afterwards; no gradients are built
+        and no optimizer state changes.
+        """
+        from ..tensor import no_grad
+
+        tracer = active_tracer()
+        self.model.eval()
+        try:
+            with span_or_null(tracer, "validation"), no_grad():
+                loss = self.model(
+                    token_tensor(ids, world=self.world),
+                    token_tensor(targets, world=self.world),
+                )
+                value = loss.item()
+        finally:
+            self.model.train()
+        return value
+
 
 @dataclass
 class PipelineStepResult:

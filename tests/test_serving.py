@@ -1,0 +1,307 @@
+"""Serving subsystem: paged KV cache, decode engine, continuous batching,
+eval mode.  The anchor tests are the token-identity checks — the engine's
+ragged batched step must equal the uncached full-forward ``generate`` on
+every layout — and the byte-exact KV accounting (zero drift against the
+closed form at every point of the request lifecycle)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.errors import ConfigError, PlanningError
+from repro.inference import evaluation, generate, generate_cached
+from repro.layers import GPTModel
+from repro.layers.dropout import Dropout
+from repro.memory_model import kv_cache_bytes
+from repro.observability import Tracer
+from repro.observability.perfetto import (
+    SUBSYSTEM_PIDS,
+    merged_trace,
+    validate_trace_events,
+)
+from repro.parallel import ParallelGPTModel
+from repro.serving import (
+    POLICIES,
+    ContinuousBatchingScheduler,
+    DecodeEngine,
+    KVCacheFull,
+    PagedKVCache,
+    ServingPerfModel,
+    generate_requests,
+    simulate_static_batching,
+)
+from repro.training import Adam, Trainer, UniformTokens
+
+CFG = ModelConfig(num_layers=2, hidden_size=32, num_heads=4,
+                  seq_length=24, vocab_size=16, name="serving-tiny")
+rng = np.random.default_rng(7)
+
+BASELINE_DIR = os.path.join(os.path.dirname(__file__), "..",
+                            "benchmarks", "baselines")
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return GPTModel(CFG, seed=2)
+
+
+@pytest.fixture(scope="module")
+def layouts(serial):
+    return {
+        "serial": serial,
+        "tp": ParallelGPTModel(CFG, tensor_parallel=2, serial=serial),
+        "tp+sp": ParallelGPTModel(CFG, tensor_parallel=2,
+                                  sequence_parallel=True, serial=serial),
+    }
+
+
+class TestPagedKVCache:
+    def test_zero_drift_through_lifecycle(self):
+        cache = PagedKVCache(CFG, tensor_parallel=2, block_size=4,
+                             num_blocks=6)
+        cache.add_request("a")
+        cache.add_request("b")
+        for _ in range(9):
+            cache.reserve_token("a")
+            assert cache.drift_bytes() == 0.0
+        for _ in range(3):
+            cache.reserve_token("b")
+        # 9 tokens -> 3 blocks (12 slots); 3 tokens -> 1 block (4 slots)
+        assert cache.measured_bytes(0) == \
+            kv_cache_bytes(CFG, [12, 4], tensor_parallel=2)
+        assert cache.drift_bytes() == 0.0
+        cache.free_request("a")
+        assert cache.drift_bytes() == 0.0
+        cache.free_request("b")
+        for r in range(2):
+            assert cache.measured_bytes(r) == 0
+
+    def test_first_fit_lowest_offset_reuse(self):
+        cache = PagedKVCache(CFG, block_size=4, num_blocks=6)
+        cache.add_request("a")
+        cache.add_request("b")
+        for _ in range(8):
+            cache.reserve_token("a")
+        for _ in range(4):
+            cache.reserve_token("b")
+        assert cache.block_table("a").block_ids == [0, 1]
+        assert cache.block_table("b").block_ids == [2]
+        cache.free_request("a")
+        cache.add_request("c")
+        for _ in range(8):
+            cache.reserve_token("c")
+        # the freed lowest-offset blocks are granted again, in order
+        assert cache.block_table("c").block_ids == [0, 1]
+
+    def test_admission_and_exhaustion(self):
+        cache = PagedKVCache(CFG, block_size=4, num_blocks=2)
+        cache.add_request("a")
+        for _ in range(8):
+            cache.reserve_token("a")
+        assert not cache.can_admit(1)
+        cache.add_request("b")
+        with pytest.raises(KVCacheFull):
+            cache.reserve_token("b")
+        assert cache.num_tokens("b") == 0  # failed reserve changed nothing
+        cache.free_request("a")
+        assert cache.can_admit(8)
+
+    def test_swap_roundtrip_bit_exact(self):
+        cache = PagedKVCache(CFG, tensor_parallel=2, block_size=4,
+                             num_blocks=4)
+        cache.add_request("a")
+        for pos in range(6):
+            cache.reserve_token("a")
+            for layer in range(CFG.num_layers):
+                for rank in range(2):
+                    cache.write("a", layer, rank, pos,
+                                rng.normal(size=16), rng.normal(size=16))
+        before = {(r, l): cache.gather("a", l, r)
+                  for r in range(2) for l in range(CFG.num_layers)}
+        swapped = cache.swap_out("a")
+        # accounting bytes per rank: K+V * tokens * h_local * layers * fp16
+        assert swapped.nbytes == 2 * 6 * 16 * CFG.num_layers * 2
+        assert cache.blocks_in_use == 0
+        assert cache.measured_bytes(0) == 0
+        cache.swap_in(swapped)
+        assert cache.num_tokens("a") == 6
+        assert cache.drift_bytes() == 0.0
+        for (r, l), (keys, values) in before.items():
+            got_k, got_v = cache.gather("a", l, r)
+            np.testing.assert_array_equal(got_k, keys)
+            np.testing.assert_array_equal(got_v, values)
+
+
+class TestDecodeEngine:
+    @pytest.mark.parametrize("layout", ["serial", "tp", "tp+sp"])
+    @pytest.mark.parametrize("strategy", ["greedy", "top_k"])
+    def test_token_identity_vs_generate(self, layouts, layout, strategy):
+        model = layouts[layout]
+        prompt = rng.integers(0, CFG.vocab_size, size=(3, 2))
+        expected = generate(model, prompt, 6, strategy=strategy,
+                            rng=np.random.default_rng(11))
+        got = generate_cached(model, prompt, 6, strategy=strategy,
+                              rng=np.random.default_rng(11), block_size=4)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_decode_is_atomic_when_blocks_run_out(self, serial):
+        cache = PagedKVCache(CFG, block_size=2, num_blocks=2)
+        engine = DecodeEngine(serial, cache)
+        engine.prefill("a", [1, 2, 3])  # 3 tokens -> both blocks claimed
+        cache.add_request("b")
+        with pytest.raises(KVCacheFull):
+            engine.decode(["a", "b"], [1, 2])
+        # "a" has a free slot in its second block, but the step must not
+        # advance it when "b" cannot get a block: nothing moved.
+        assert cache.num_tokens("a") == 3
+        assert cache.num_tokens("b") == 0
+        assert cache.free_blocks == 0
+
+    def test_context_length_limit(self, serial):
+        cache = PagedKVCache(CFG, block_size=4, num_blocks=8)
+        engine = DecodeEngine(serial, cache)
+        prompt = rng.integers(0, CFG.vocab_size, size=CFG.seq_length)
+        engine.prefill("a", prompt)
+        with pytest.raises(ConfigError):
+            engine.decode(["a"], [0])
+
+
+SPEC_KW = dict(num_requests=5, seed=5, arrival_rate=2000.0,
+               prompt_lengths=(1, 3), new_tokens=(2, 6))
+
+
+def _scheduler(serial, policy="swap", num_blocks=6, tracer=None):
+    cache = PagedKVCache(CFG, block_size=2, num_blocks=num_blocks)
+    engine = DecodeEngine(serial, cache)
+    return ContinuousBatchingScheduler(
+        engine, ServingPerfModel(CFG), policy=policy, max_batch=4, seed=5,
+        tracer=tracer)
+
+
+class TestScheduler:
+    def test_equal_seeds_byte_identical_reports(self, serial):
+        specs = generate_requests(CFG, **SPEC_KW)
+        a = _scheduler(serial).run(specs)
+        b = _scheduler(serial).run(generate_requests(CFG, **SPEC_KW))
+        assert a.to_json() == b.to_json()
+        assert a.kv_drift_bytes == 0.0
+        assert a.completed == len(specs)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_preemption_does_not_change_tokens(self, serial, policy):
+        specs = generate_requests(CFG, **SPEC_KW)
+        roomy = _scheduler(serial, policy=policy, num_blocks=32).run(specs)
+        assert roomy.preemptions == 0
+        tight = _scheduler(serial, policy=policy, num_blocks=6).run(specs)
+        assert tight.preemptions > 0 and tight.resumes > 0
+        for a, b in zip(tight.per_request, roomy.per_request):
+            assert a["generated_tokens"] == b["generated_tokens"]
+        assert tight.kv_drift_bytes == 0.0
+
+    def test_unservable_request_raises(self, serial):
+        specs = generate_requests(CFG, num_requests=1, seed=0,
+                                  prompt_lengths=(3, 3), new_tokens=(2, 2))
+        with pytest.raises(PlanningError):
+            _scheduler(serial, num_blocks=1).run(specs)
+
+    def test_trace_is_valid_and_phase_tagged(self, serial):
+        tracer = Tracer()
+        report = _scheduler(serial, num_blocks=6, tracer=tracer).run(
+            generate_requests(CFG, **SPEC_KW))
+        assert report.preemptions > 0
+        doc = merged_trace(tracer)
+        validate_trace_events(doc["traceEvents"])
+        serving = [e for e in doc["traceEvents"]
+                   if e.get("cat") == "serving" and e["ph"] == "X"]
+        assert serving
+        assert all(e["pid"] == SUBSYSTEM_PIDS["serving"] for e in serving)
+        assert {e["args"]["phase"] for e in serving} == \
+            {"prefill", "decode", "preempt", "resume"}
+
+    def test_unknown_span_phase_rejected(self):
+        events = [
+            {"name": "process_name", "ph": "M", "pid": 8, "tid": 0,
+             "args": {"name": "serving"}},
+            {"name": "serve.warmup", "ph": "X", "ts": 0.0, "dur": 1.0,
+             "pid": 8, "tid": 0, "args": {"phase": "warmup"}},
+        ]
+        with pytest.raises(ValueError, match="phase tag"):
+            validate_trace_events(events)
+
+
+class TestStaticBaselineAndBench:
+    def test_static_batching_generates_every_token(self):
+        perf = ServingPerfModel(CFG)
+        specs = generate_requests(CFG, 4, seed=9, prompt_lengths=(1, 2),
+                                  new_tokens=(2, 4))
+        out = simulate_static_batching(specs, perf, block_size=2,
+                                       num_blocks=12, max_batch=2)
+        assert out["tokens_generated"] == sum(s.max_new_tokens for s in specs)
+        assert out["tokens_per_s"] > 0
+        with pytest.raises(PlanningError):
+            simulate_static_batching(specs, perf, block_size=1, num_blocks=1,
+                                     max_batch=1)
+
+    def test_serve_preset_beats_static_and_matches_baseline(self):
+        from repro.observability.regress import (
+            check_against_baselines,
+            run_preset,
+        )
+
+        doc = run_preset("serve", seed_value=1234)
+        serving = doc["serving"]
+        assert serving["continuous_vs_static_speedup"] >= 1.5
+        assert serving["policies_agree"] is True
+        assert serving["kv_drift_bytes"] == 0.0
+        assert serving["preemptions"] > 0 and serving["resumes"] > 0
+        assert check_against_baselines({"serve": doc}, BASELINE_DIR) == {}
+
+
+class TestEvalMode:
+    def _drops(self, model):
+        return [m for m in model.modules() if isinstance(m, Dropout)]
+
+    def test_eval_train_roundtrip_idempotent(self):
+        model = GPTModel(CFG, seed=0)
+        drops = self._drops(model)
+        saved = [d.p for d in drops]
+        assert any(p > 0 for p in saved)
+        model.eval()
+        assert all(d.p == 0.0 for d in drops)
+        model.eval()  # idempotent: must not clobber the stashed rates
+        model.train()
+        assert [d.p for d in drops] == saved
+        model.train()  # idempotent in the other direction too
+        assert [d.p for d in drops] == saved
+
+    def test_evaluation_context_nests_and_restores(self):
+        model = GPTModel(CFG, seed=0)
+        drops = self._drops(model)
+        saved = [d.p for d in drops]
+        with evaluation(model):
+            assert all(d.p == 0.0 for d in drops)
+            with evaluation(model):
+                assert all(d.p == 0.0 for d in drops)
+            assert all(d.p == 0.0 for d in drops)
+        assert [d.p for d in drops] == saved
+
+    def test_evaluation_preserves_explicit_eval_mode(self):
+        model = GPTModel(CFG, seed=0).eval()
+        drops = self._drops(model)
+        with evaluation(model):
+            assert all(d.p == 0.0 for d in drops)
+        assert all(d.p == 0.0 for d in drops)  # still in eval, as set
+        model.train()
+        assert any(d.p > 0 for d in drops)
+
+    def test_trainer_evaluate_is_deterministic_and_restores(self):
+        model = GPTModel(CFG, seed=0)
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-3))
+        ids, targets = UniformTokens(CFG.vocab_size, CFG.seq_length,
+                                     seed=3).batch(2)
+        first = trainer.evaluate(ids, targets)
+        second = trainer.evaluate(ids, targets)
+        assert first == second  # dropout off -> no stochasticity
+        assert any(d.p > 0 for d in self._drops(model))  # back in training
