@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction.
 PY ?= python
 
-.PHONY: test bench bench-gate chaos trace serve report examples all clean
+.PHONY: test bench bench-gate chaos trace serve fleet report examples all clean
 
 test:
 	$(PY) -m pytest tests/
@@ -39,6 +39,17 @@ serve:
 	$(PY) -m repro serve --policy recompute > /dev/null
 	@echo "serving runs completed; trace in serve-trace.json"
 
+# Chaos-serving fleet: the default fault plan (replica crash + straggler
+# + dispatch loss) with end-to-end token-identity verification against
+# the fault-free run, plus a clean run and a seeded random campaign
+# (docs/serving.md "Chaos serving", docs/resilience.md).
+fleet:
+	$(PY) -m pytest tests/test_fleet.py
+	$(PY) -m repro fleet --verify --trace-out fleet-trace.json > /dev/null
+	$(PY) -m repro fleet --fault-rate 0 > /dev/null
+	$(PY) -m repro fleet --fault-rate 0.3 --verify > /dev/null
+	@echo "fleet chaos campaigns: token streams identical to fault-free; trace in fleet-trace.json"
+
 report:
 	$(PY) -m repro report --output report.md
 
@@ -49,5 +60,5 @@ examples:
 all: test bench report
 
 clean:
-	rm -rf .pytest_cache .hypothesis report.md trace-out serve-trace.json
+	rm -rf .pytest_cache .hypothesis report.md trace-out serve-trace.json fleet-trace.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

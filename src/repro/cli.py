@@ -479,6 +479,72 @@ def cmd_serve(args) -> str:
     )
 
 
+def cmd_fleet(args) -> str:
+    """Run the chaos-serving fleet: a seeded open-loop workload routed
+    across N replicas while a fault plan crashes, slows and drops
+    dispatches under it.  ``--verify`` additionally runs the fault-free
+    fleet at the same seed and requires every completed request's token
+    stream to match exactly — the serving-side analogue of the trainer's
+    bitwise-identical-weights check.  ``--json`` emits the canonical
+    :class:`~repro.fleet.FleetReport` — byte-identical at equal seeds.
+    """
+    from .config import ModelConfig
+    from .fleet import build_fleet
+    from .observability import Tracer
+    from .resilience import FLEET_KINDS, FaultKind, FaultPlan, FaultSpec
+    from .serving import generate_requests
+
+    model_cfg = ModelConfig(name="fleet", num_layers=2, hidden_size=64,
+                            num_heads=4, seq_length=48, vocab_size=32)
+    specs = generate_requests(model_cfg, args.requests, seed=args.seed,
+                              arrival_rate=5000.0, prompt_lengths=(1, 3),
+                              new_tokens=(8, 48))
+    if args.fault_rate > 0.0:
+        plan = FaultPlan([
+            FaultSpec(step=10, kind=FaultKind.REPLICA_CRASH, rank=1,
+                      permanent=True),
+            FaultSpec(step=18, kind=FaultKind.SLOW_REPLICA, rank=2,
+                      slowdown=6.0),
+            FaultSpec(step=2, kind=FaultKind.DISPATCH_LOSS),
+        ]) if args.fault_rate >= 1.0 else FaultPlan.random(
+            seed=args.seed, num_steps=32, fault_rate=args.fault_rate,
+            world_size=args.replicas, kinds=FLEET_KINDS)
+    else:
+        plan = FaultPlan()
+
+    def _run(fault_plan, tracer=None):
+        fleet = build_fleet(
+            model_cfg, args.replicas, tensor_parallel=args.tp,
+            sequence_parallel=args.sequence_parallel,
+            block_size=args.block_size, num_blocks=args.num_blocks,
+            max_batch=args.max_batch, policy=args.policy, seed=args.seed,
+            plan=fault_plan, tracer=tracer, num_tiers=args.tiers,
+            slo_ttft_s=args.slo_ttft_s)
+        return fleet, fleet.run(specs)
+
+    tracer = Tracer()
+    fleet, report = _run(plan, tracer=tracer)
+    verify_note = ""
+    if args.verify:
+        clean_fleet, _ = _run(FaultPlan())
+        if fleet.tokens_by_request() != clean_fleet.tokens_by_request():
+            raise SystemExit(
+                "FLEET VERIFY FAILED: token streams diverged from the "
+                "fault-free run at the same seed")
+        verify_note = ("\n  verify OK: token streams identical to the "
+                       "fault-free fleet at the same seed")
+    trace_note = ""
+    if args.trace_out:
+        from .observability import export_trace, validate_trace_file
+        num_events = export_trace(tracer, args.trace_out)
+        validate_trace_file(args.trace_out)
+        trace_note = (f"\n  {args.trace_out}: {num_events} events "
+                      "(validated; open in https://ui.perfetto.dev)")
+    if args.json:
+        return emit_json(report.to_json())
+    return report.summary() + verify_note + trace_note
+
+
 def cmd_bench(args) -> str:
     """Run the benchmark presets, write canonical ``BENCH_<preset>.json``
     documents, and (with ``--check``) gate against committed baselines.
@@ -514,6 +580,9 @@ def cmd_bench(args) -> str:
             summary += (f", serve x"
                         f"{doc['serving']['continuous_vs_static_speedup']:.2f}"
                         f" vs static")
+        if "fleet" in doc:
+            summary += (f", fleet goodput {doc['fleet']['goodput']:.1%} "
+                        f"under chaos")
         lines.append(summary + ")")
 
     if args.check:
@@ -683,6 +752,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write a validated Perfetto trace here")
     add_json_flag(p)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "fleet", help="chaos-serving fleet: fault-tolerant multi-replica "
+                      "routing with mid-stream recovery")
+    p.add_argument("--replicas", type=int, default=3,
+                   help="serving replicas in the fleet")
+    p.add_argument("--requests", type=int, default=24,
+                   help="open-loop workload size")
+    p.add_argument("--seed", type=int, default=1234,
+                   help="workload + sampling + fault-plan seed")
+    p.add_argument("--tp", type=int, default=1,
+                   help="tensor-parallel size inside each replica")
+    p.add_argument("--sequence-parallel", action="store_true",
+                   help="serve a sequence-parallel trained layout (tp > 1)")
+    p.add_argument("--policy", default="swap", choices=list(POLICIES),
+                   help="what preemption does with the victim's KV state")
+    p.add_argument("--block-size", type=int, default=4,
+                   help="token slots per KV block")
+    p.add_argument("--num-blocks", type=int, default=16,
+                   help="KV pool size in blocks, per replica")
+    p.add_argument("--max-batch", type=int, default=4,
+                   help="decode batch width cap, per replica")
+    p.add_argument("--fault-rate", type=float, default=1.0,
+                   help="0 = clean run; 1 = the default chaos plan (crash "
+                        "+ straggler + dispatch loss); in between = "
+                        "seeded random per-round fault probability")
+    p.add_argument("--tiers", type=int, default=1,
+                   help="priority tiers for SLO-aware shedding")
+    p.add_argument("--slo-ttft-s", type=float, default=None,
+                   help="TTFT SLO in seconds; enables load shedding of "
+                        "the lowest tier when saturated")
+    p.add_argument("--verify", action="store_true",
+                   help="also run fault-free and require identical "
+                        "per-request token streams")
+    p.add_argument("--trace-out", default=None,
+                   help="also write a validated Perfetto trace here")
+    add_json_flag(p)
+    p.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser(
         "bench", help="benchmark presets -> BENCH_*.json; --check gates "

@@ -41,8 +41,9 @@ class CollectiveCostModel:
 
         Tensor-parallel groups are mapped within a node (the Megatron
         placement the paper uses, t=8 on 8-GPU nodes) as long as they fit;
-        pipeline and data parallel traffic crosses nodes whenever there is
-        more than one node.
+        pipeline, data-parallel and serving-fleet (replica-to-replica KV
+        migration) traffic crosses nodes whenever there is more than one
+        node.
         """
         node = self.cluster.node
         if info.scope == "tp" and info.group_size <= node.gpus_per_node:

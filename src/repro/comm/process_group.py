@@ -10,7 +10,9 @@ cost model uses to pick the physical link:
   so collectives ride NVLink;
 * ``"pp"`` — pipeline-parallel peers (adjacent stages), typically
   inter-node InfiniBand;
-* ``"dp"`` — data-parallel replicas, inter-node InfiniBand.
+* ``"dp"`` — data-parallel replicas, inter-node InfiniBand;
+* ``"fleet"`` — serving replicas (:mod:`repro.fleet`); KV-migration
+  traffic between replicas crosses nodes like data-parallel traffic.
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ class ProcessGroup:
     def __post_init__(self) -> None:
         if self.size < 1:
             raise CommError(f"group size must be >= 1, got {self.size}")
-        if self.scope not in ("tp", "pp", "dp"):
+        if self.scope not in ("tp", "pp", "dp", "fleet"):
             raise CommError(f"unknown scope {self.scope!r}")
 
     def check_world(self, world: int) -> None:

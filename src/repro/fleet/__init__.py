@@ -1,0 +1,28 @@
+"""Chaos-serving fleet: fault-tolerant multi-replica routing.
+
+Composes the two verified halves of the repo — the continuous-batching
+serving stack (:mod:`repro.serving`) and the deterministic fault
+machinery (:mod:`repro.resilience`) — into a simulated N-replica fleet
+that stays correct and live while replicas crash, straggle and drop
+dispatches mid-decode.
+
+The headline guarantee mirrors the training side's bitwise-identical
+weights: under *any* fleet fault plan, every request's streamed token
+sequence is identical to the fault-free run at the same seed, because
+the sampling stream travels with the request's control record
+(:class:`~repro.serving.RequestState`) and recovery either restores KV
+pages bit-exactly (swap migration) or replays deterministic engine math
+(recompute-from-prompt).  See ``docs/serving.md`` ("Chaos serving") and
+``docs/resilience.md`` (the fleet recovery ladder).
+"""
+
+from .report import FleetReport
+from .router import FleetRouter, Replica, ReplicaHealth, build_fleet
+
+__all__ = [
+    "FleetReport",
+    "FleetRouter",
+    "Replica",
+    "ReplicaHealth",
+    "build_fleet",
+]

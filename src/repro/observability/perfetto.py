@@ -5,7 +5,9 @@ simulated-time axis:
 
 * one **pid** per subsystem (``train``, ``compute``, ``comm``,
   ``memory``, ``checkpoint``, ``resilience``, ``pipeline``,
-  ``serving``), named with ``process_name`` metadata events;
+  ``serving``, ``fleet``, plus one per serving replica —
+  ``replica<N>`` maps to pid ``10 + N``), named with ``process_name``
+  metadata events;
 * one **tid** per rank inside a subsystem, named with ``thread_name``
   metadata events;
 * duration events (``ph: "X"``) for tracer spans, instant events
@@ -38,17 +40,25 @@ SUBSYSTEM_PIDS: Dict[str, int] = {
     "resilience": 6,
     "pipeline": 7,
     "serving": 8,
+    "fleet": 9,
 }
+
+#: Serving replicas get their own Perfetto processes: subsystem
+#: ``replica<N>`` maps to pid ``REPLICA_PID_BASE + N``, directly after
+#: the canonical block so fleet traces group router + replicas together.
+REPLICA_PID_BASE = 10
 
 #: Chrome traces use microseconds; tracer clocks are simulated seconds.
 TIME_SCALE = 1e6
 
 
 def _pid_for(subsystem: str) -> int:
-    if subsystem not in SUBSYSTEM_PIDS:
-        # Unknown subsystems get a stable pid past the canonical block.
-        return 100 + sum(ord(c) for c in subsystem) % 100
-    return SUBSYSTEM_PIDS[subsystem]
+    if subsystem in SUBSYSTEM_PIDS:
+        return SUBSYSTEM_PIDS[subsystem]
+    if subsystem.startswith("replica") and subsystem[7:].isdigit():
+        return REPLICA_PID_BASE + int(subsystem[7:])
+    # Unknown subsystems get a stable pid past the canonical block.
+    return 100 + sum(ord(c) for c in subsystem) % 100
 
 
 def _metadata(pid: int, name: str, tids: Iterable[int],
@@ -174,6 +184,7 @@ KNOWN_PHASES = frozenset({"M", "X", "i", "I", "C", "B", "E"})
 SPAN_PHASES = frozenset({
     "forward", "backward", "recompute",            # ExecutionPhase values
     "prefill", "decode", "preempt", "resume",      # serving lifecycle
+    "dispatch", "migrate", "recover", "shed",      # fleet router actions
 })
 
 

@@ -1,8 +1,11 @@
 """Benchmark regression gate over the traced presets.
 
 ``repro bench`` runs the deterministic trace presets (``tiny`` and
-``small`` pipelined runs, plus ``chaos``, a fault-injected data-parallel
-segment), pushes each trace through :mod:`repro.observability.analysis`,
+``small`` pipelined runs, ``chaos``, a fault-injected data-parallel
+segment, ``substrate``, the fused-operator engine, ``serve``, the
+continuous-batching scheduler, and ``chaos_serve``, the fault-injected
+serving fleet), pushes each trace through
+:mod:`repro.observability.analysis`,
 and writes one canonical ``BENCH_<preset>.json`` per preset: the
 attribution breakdown, MFU/HFU with their model deltas, peak memory,
 per-term memory drift, goodput and a SHA-256 hash of the merged trace.
@@ -33,7 +36,8 @@ from .serialize import dumps_json, to_jsonable
 #: refuses to compare documents with mismatched schema versions.
 SCHEMA_VERSION = 1
 
-PRESET_NAMES = ("tiny", "small", "chaos", "substrate", "serve")
+PRESET_NAMES = ("tiny", "small", "chaos", "substrate", "serve",
+                "chaos_serve")
 
 DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
 
@@ -83,6 +87,13 @@ TOLERANCES: Tuple[Tuple[str, Tuple[str, float]], ...] = (
     # is exactly reproducible at equal seeds.
     ("serving.continuous_vs_static_speedup", ("floor", 1.5)),
     ("serving.", ("exact", 0)),
+    # The chaos-serving gate: the default fault plan (one permanent
+    # replica crash mid-decode, one straggler, one dropped dispatch) must
+    # keep goodput at or above 0.85; everything else — token identity
+    # with the fault-free run, zero KV drift, recovery tallies, the
+    # fleet trace hash — rides the simulated clock and is exact.
+    ("fleet.goodput", ("floor", 0.85)),
+    ("fleet.", ("exact", 0)),
     ("wall_time_s", ("rel", 0.05)),
     ("iteration_time_s", ("rel", 0.05)),
     ("", ("rel", 0.02)),  # default
@@ -524,6 +535,105 @@ def _run_serve_preset(seed_value: int, steps: int) -> dict:
     return doc
 
 
+def _run_chaos_serve_preset(seed_value: int, steps: int) -> dict:
+    """Serve a seeded open-loop workload through a three-replica fleet
+    under the default chaos plan — one *permanent* replica crash
+    mid-decode, one straggler, one dropped dispatch — and gate the
+    fault-tolerance claims directly.
+
+    Gated quantities: fleet goodput under the plan (floor 0.85 — the
+    waste ledger is on the simulated clock, so the floor states the
+    robustness claim, not a machine-speed fact), per-request token
+    streams identical to the fault-free run at the same seed (exact —
+    the headline guarantee), zero KV accounting drift across crash /
+    migrate / recompute traffic (exact), the migration-vs-recompute
+    recovery mix and fault/recovery ledger counts (exact), and the
+    fleet trace hash (exact — byte-identical timelines at equal seeds,
+    dispatch/migrate/recover spans included).
+    """
+    from ..config import ModelConfig
+    from ..fleet import build_fleet
+    from ..resilience import FaultKind, FaultPlan, FaultSpec
+    from ..serving import generate_requests
+    from .tracer import Tracer
+
+    # hidden 64 / seq 48 keeps decode rounds cheap while the tight
+    # 16-block pool per replica forces recovered requests through the
+    # real migrate-vs-recompute pricing decision.  24 requests of up to
+    # 48 new tokens give the fleet enough useful decode work that the
+    # default plan's waste (timeout stalls, backoff, replays, wire
+    # traffic) stays under 15% of total simulated time.
+    model_cfg = ModelConfig(name="chaos-serve", num_layers=2, hidden_size=64,
+                            num_heads=4, seq_length=48, vocab_size=32)
+    num_replicas, block_size, num_blocks, max_batch = 3, 4, 16, 4
+    specs = generate_requests(model_cfg, num_requests=24, seed=seed_value,
+                              arrival_rate=5000.0, prompt_lengths=(1, 3),
+                              new_tokens=(8, 48))
+    plan = FaultPlan([
+        FaultSpec(step=10, kind=FaultKind.REPLICA_CRASH, rank=1,
+                  permanent=True),
+        FaultSpec(step=18, kind=FaultKind.SLOW_REPLICA, rank=2,
+                  slowdown=6.0),
+        FaultSpec(step=2, kind=FaultKind.DISPATCH_LOSS),
+    ])
+
+    def _run(fault_plan, tracer=None):
+        fleet = build_fleet(model_cfg, num_replicas, block_size=block_size,
+                            num_blocks=num_blocks, max_batch=max_batch,
+                            seed=seed_value, plan=fault_plan, tracer=tracer)
+        return fleet, fleet.run(specs)
+
+    tracer = Tracer()
+    fleet, report = _run(plan, tracer=tracer)
+    clean_fleet, clean_report = _run(FaultPlan())
+    tokens_identical = (fleet.tokens_by_request()
+                        == clean_fleet.tokens_by_request())
+
+    doc = _base_doc("chaos_serve", seed_value, steps, model_cfg, 1, 1)
+    doc["config"]["num_replicas"] = num_replicas
+    doc["config"]["block_size"] = block_size
+    doc["config"]["num_blocks"] = num_blocks
+    doc["config"]["max_batch"] = max_batch
+    doc["fleet"] = {
+        "goodput": report.goodput(),
+        "clean_goodput": clean_report.goodput(),
+        "tokens_identical_to_clean": tokens_identical,
+        "requests": report.requests,
+        "completed": report.completed,
+        "shed": report.shed,
+        "rounds": report.rounds,
+        "final_replicas": report.final_replicas,
+        "faults": len(report.faults),
+        "recoveries": len(report.recoveries),
+        "dispatches": report.dispatches,
+        "redispatches": report.redispatches,
+        "migrations": report.migrations,
+        "recomputes": report.recomputes,
+        "tokens_generated": report.tokens_generated,
+        "useful_s": report.useful_s,
+        "wasted_s": report.wasted_s,
+        "kv_drift_bytes": report.kv_drift_bytes,
+        "ttft_p50_s": report.ttft_p50_s,
+        "ttft_p95_s": report.ttft_p95_s,
+        "ttft_p99_s": report.ttft_p99_s,
+        "tpot_p50_s": report.tpot_p50_s,
+        "tpot_p95_s": report.tpot_p95_s,
+        "tpot_p99_s": report.tpot_p99_s,
+    }
+    doc["counts"] = {
+        "spans": len(tracer.spans),
+        "instants": len(tracer.instants),
+        "dispatches": sum(1 for s in tracer.spans
+                          if s.name == "fleet.dispatch"),
+        "migrations": sum(1 for s in tracer.spans
+                          if s.name == "fleet.migrate"),
+        "recomputes": sum(1 for s in tracer.spans
+                          if s.name == "fleet.recover"),
+    }
+    doc["trace_hash"] = trace_hash(tracer)
+    return doc
+
+
 def _base_doc(preset: str, seed_value: int, steps: int, model_cfg,
               tp: int, pp: int) -> dict:
     return {
@@ -556,6 +666,8 @@ def run_preset(preset: str, seed_value: int = 1234, steps: int = 2) -> dict:
         return _run_substrate_preset(seed_value, steps)
     if preset == "serve":
         return _run_serve_preset(seed_value, steps)
+    if preset == "chaos_serve":
+        return _run_chaos_serve_preset(seed_value, steps)
     if preset not in TRACE_PRESETS:
         raise ValueError(f"unknown preset {preset!r}; "
                          f"expected one of {PRESET_NAMES}")

@@ -1,5 +1,13 @@
 """Memory-budget-driven recomputation planning (paper Section 5)."""
 
-from .planner import PlanOption, enumerate_options, plan, replan_after_shrink
+from .planner import (
+    FleetCapacity,
+    PlanOption,
+    enumerate_options,
+    plan,
+    plan_fleet_capacity,
+    replan_after_shrink,
+)
 
-__all__ = ["PlanOption", "enumerate_options", "plan", "replan_after_shrink"]
+__all__ = ["FleetCapacity", "PlanOption", "enumerate_options", "plan",
+           "plan_fleet_capacity", "replan_after_shrink"]

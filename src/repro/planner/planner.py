@@ -172,6 +172,62 @@ def plan(config: ExperimentConfig,
     )
 
 
+@dataclass(frozen=True)
+class FleetCapacity:
+    """KV-token capacity of a serving fleet (:mod:`repro.fleet`).
+
+    The serving analogue of the memory-budget plan above: instead of
+    fitting activations into device memory, the router must fit resident
+    requests into the fleet's aggregate paged-KV pool.  ``shrink``
+    re-fits the plan after a permanent replica loss, the same move
+    :func:`replan_after_shrink` makes for an elastic data-parallel
+    shrink.
+    """
+
+    num_replicas: int
+    num_blocks: int               # per replica
+    block_size: int
+    max_batch: int                # per replica
+
+    def __post_init__(self) -> None:
+        if (self.num_replicas < 0 or self.num_blocks < 1
+                or self.block_size < 1 or self.max_batch < 1):
+            raise PlanningError("fleet capacity needs positive dimensions")
+
+    @property
+    def tokens_per_replica(self) -> int:
+        return self.num_blocks * self.block_size
+
+    @property
+    def token_capacity(self) -> int:
+        """Aggregate KV tokens the fleet can hold resident."""
+        return self.num_replicas * self.tokens_per_replica
+
+    @property
+    def max_resident_requests(self) -> int:
+        return self.num_replicas * self.max_batch
+
+    def saturated_by(self, offered_tokens: int) -> bool:
+        """Would ``offered_tokens`` of resident context overflow the
+        fleet?  The router's load-shedding trigger."""
+        return offered_tokens > self.token_capacity
+
+    def shrink(self, by: int = 1) -> "FleetCapacity":
+        """Capacity after permanently losing ``by`` replicas."""
+        if by < 0 or by > self.num_replicas:
+            raise PlanningError(
+                f"cannot shrink a fleet of {self.num_replicas} by {by}")
+        return FleetCapacity(self.num_replicas - by, self.num_blocks,
+                             self.block_size, self.max_batch)
+
+
+def plan_fleet_capacity(num_replicas: int, num_blocks: int, block_size: int,
+                        max_batch: int) -> FleetCapacity:
+    """The fleet-level admission budget the router plans against."""
+    return FleetCapacity(num_replicas=num_replicas, num_blocks=num_blocks,
+                         block_size=block_size, max_batch=max_batch)
+
+
 def replan_after_shrink(config: ExperimentConfig,
                         surviving_data_parallel: int,
                         device_memory_bytes: float = 80 * 1024**3,

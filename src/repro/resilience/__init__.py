@@ -20,7 +20,8 @@ with weights bitwise-identical to the uninterrupted run at the same
 seed.  See ``docs/resilience.md``.
 """
 
-from .faults import FaultKind, FaultPlan, FaultSpec
+from .backoff import backoff_delay, backoff_jitter
+from .faults import FLEET_KINDS, TRAINING_KINDS, FaultKind, FaultPlan, FaultSpec
 from .injector import FaultInjector
 from .recovery import (
     RecoveryPolicy,
@@ -32,7 +33,8 @@ from .report import FaultRecord, RecoveryRecord, ResilienceReport
 from .watchdog import Watchdog
 
 __all__ = [
-    "FaultInjector", "FaultKind", "FaultPlan", "FaultRecord", "FaultSpec",
-    "RecoveryPolicy", "RecoveryRecord", "ResilienceReport",
-    "ResilientTrainer", "RunResult", "Watchdog", "make_step_batches",
+    "FLEET_KINDS", "FaultInjector", "FaultKind", "FaultPlan", "FaultRecord",
+    "FaultSpec", "RecoveryPolicy", "RecoveryRecord", "ResilienceReport",
+    "ResilientTrainer", "RunResult", "TRAINING_KINDS", "Watchdog",
+    "backoff_delay", "backoff_jitter", "make_step_batches",
 ]

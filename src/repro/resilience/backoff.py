@@ -1,0 +1,62 @@
+"""Seeded exponential backoff with deterministic jitter.
+
+Retry storms are the classic way a fleet turns one fault into many:
+every client that saw the same timeout retries at the same instant.
+Production routers decorrelate retries with *jittered* exponential
+backoff — but naive ``random()`` jitter breaks this repository's
+determinism standard (a rerun would retry at different times and produce
+a different report).
+
+:func:`backoff_delay` squares the two requirements: the delay is a pure
+function of ``(seed, attempt, request_id)``, hashed through SHA-256 so
+it is stable across process restarts, interpreter versions and
+``PYTHONHASHSEED`` — yet *decorrelated* across requests, because two
+request ids land in different places of the jitter window.  Equal seeds
+therefore reproduce a fleet run byte-for-byte, while within a run the
+retry times spread out exactly like production jitter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from ..errors import ConfigError
+
+
+def backoff_jitter(seed: int, attempt: int, request_id: str) -> float:
+    """The deterministic jitter coordinate in ``[0, 1)``.
+
+    A pure function of its arguments: SHA-256 of the triple, mapped to a
+    64-bit fraction.  No interpreter state (``hash()``, RNG globals) is
+    consulted, so the value survives process restarts unchanged.
+    """
+    payload = f"{seed}:{attempt}:{request_id}".encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def backoff_delay(seed: int, attempt: int, request_id: str,
+                  base_s: float = 0.005, factor: float = 2.0,
+                  cap_s: float = 0.5, jitter: float = 0.5) -> float:
+    """Jittered exponential backoff, deterministic at equal seeds.
+
+    The uncapped envelope for retry ``attempt`` (0-based) is
+    ``base_s * factor**attempt``, clamped to ``cap_s``; the returned
+    delay is drawn deterministically from
+    ``[envelope * (1 - jitter), envelope]`` using
+    :func:`backoff_jitter` — so delays grow exponentially, never exceed
+    the cap, and two requests backing off from the same fault retry at
+    different (but reproducible) times.
+    """
+    if attempt < 0:
+        raise ConfigError(f"attempt must be >= 0, got {attempt}")
+    if base_s <= 0 or factor < 1.0 or cap_s <= 0:
+        raise ConfigError("need base_s > 0, factor >= 1 and cap_s > 0")
+    if not 0.0 <= jitter <= 1.0:
+        raise ConfigError(f"jitter must be in [0, 1], got {jitter}")
+    if factor == 1.0 or attempt * math.log(factor) >= math.log(cap_s / base_s):
+        envelope = cap_s if factor > 1.0 else min(cap_s, base_s)
+    else:
+        envelope = min(cap_s, base_s * factor ** attempt)
+    return envelope * (1.0 - jitter * backoff_jitter(seed, attempt, request_id))

@@ -20,6 +20,19 @@ paper's Selene runs):
   the watchdog timeout fires.
 * ``BIT_FLIP`` — one bit of a payload flips in flight; the receiver-side
   checksum detects the mismatch on completion.
+
+The serving fleet (:mod:`repro.fleet`) reuses the same plan machinery
+with its own fault vocabulary, where ``step`` is the fleet decode round
+and ``rank`` is the replica id:
+
+* ``REPLICA_CRASH`` — a serving replica dies mid-decode; its device KV
+  pool is lost, its in-flight requests must be recovered on survivors
+  (``permanent=True`` retires the replica; otherwise it restarts empty);
+* ``DISPATCH_LOSS`` — a router->replica dispatch message is lost; the
+  router detects it after the watchdog timeout and retries with backoff;
+* ``SLOW_REPLICA`` — a replica decodes ``slowdown``x slower from this
+  round on; the router flags it via the watchdog straggler check and
+  drains its in-flight requests to healthy replicas.
 """
 
 from __future__ import annotations
@@ -38,6 +51,20 @@ class FaultKind(str, Enum):
     STRAGGLER = "straggler"
     DROPPED_COLLECTIVE = "dropped_collective"
     BIT_FLIP = "bit_flip"
+    # Serving-fleet faults (repro.fleet): rank = replica id, step = round.
+    REPLICA_CRASH = "replica_crash"
+    DISPATCH_LOSS = "dispatch_loss"
+    SLOW_REPLICA = "slow_replica"
+
+
+#: The fault vocabulary :class:`FaultPlan.random` draws from by default
+#: (the training-cluster kinds; the fleet passes :data:`FLEET_KINDS`).
+TRAINING_KINDS = (FaultKind.RANK_CRASH, FaultKind.STRAGGLER,
+                  FaultKind.DROPPED_COLLECTIVE, FaultKind.BIT_FLIP)
+
+#: Serving-fleet fault vocabulary for seeded random fleet plans.
+FLEET_KINDS = (FaultKind.REPLICA_CRASH, FaultKind.DISPATCH_LOSS,
+               FaultKind.SLOW_REPLICA)
 
 
 @dataclass(frozen=True)
@@ -61,7 +88,8 @@ class FaultSpec:
     def __post_init__(self) -> None:
         if self.step < 0 or self.rank < 0 or self.call_index < 0:
             raise ConfigError("fault step/rank/call_index must be >= 0")
-        if self.kind == FaultKind.STRAGGLER and self.slowdown < 1.0:
+        if self.kind in (FaultKind.STRAGGLER, FaultKind.SLOW_REPLICA) \
+                and self.slowdown < 1.0:
             raise ConfigError(f"straggler slowdown must be >= 1, got {self.slowdown}")
 
 
@@ -106,16 +134,16 @@ class FaultPlan:
             raise ConfigError(f"fault_rate must be in [0, 1], got {fault_rate}")
         if world_size < 1:
             raise ConfigError("world_size must be >= 1")
-        kinds = tuple(kinds) if kinds else (
-            FaultKind.RANK_CRASH, FaultKind.STRAGGLER,
-            FaultKind.DROPPED_COLLECTIVE, FaultKind.BIT_FLIP)
+        kinds = tuple(kinds) if kinds else TRAINING_KINDS
         rng = np.random.default_rng(seed)
         faults: List[FaultSpec] = []
         for step in range(num_steps):
             if rng.random() >= fault_rate:
                 continue
             kind = kinds[int(rng.integers(len(kinds)))]
-            permanent = (kind == FaultKind.RANK_CRASH and world_size > 1
+            permanent = (kind in (FaultKind.RANK_CRASH,
+                                  FaultKind.REPLICA_CRASH)
+                         and world_size > 1
                          and rng.random() < permanent_crash_fraction)
             faults.append(FaultSpec(
                 step=step, kind=kind,

@@ -11,12 +11,20 @@ models and emits tracer spans per serving phase.
 """
 
 from .engine import DecodeEngine
-from .kv_cache import BlockTable, KVCacheFull, PagedKVCache, SwappedKV
+from .kv_cache import (
+    BlockTable,
+    KVAdmissionFull,
+    KVCacheFull,
+    KVStepFull,
+    PagedKVCache,
+    SwappedKV,
+)
 from .perf import ServingPerfModel, simulate_static_batching
 from .scheduler import (
     POLICIES,
     ContinuousBatchingScheduler,
     RequestSpec,
+    RequestState,
     ServeReport,
     generate_requests,
 )
@@ -25,10 +33,13 @@ __all__ = [
     "BlockTable",
     "ContinuousBatchingScheduler",
     "DecodeEngine",
+    "KVAdmissionFull",
     "KVCacheFull",
+    "KVStepFull",
     "PagedKVCache",
     "POLICIES",
     "RequestSpec",
+    "RequestState",
     "ServeReport",
     "ServingPerfModel",
     "SwappedKV",

@@ -41,7 +41,7 @@ from ..parallel.transformer import ParallelGPTModel
 from ..tensor import FP16, FP32, Tensor, no_grad
 from ..tensor import functions as F
 from ..tensor.tensor import apply
-from .kv_cache import KVCacheFull, PagedKVCache
+from .kv_cache import KVAdmissionFull, KVCacheFull, KVStepFull, PagedKVCache
 
 AnyGPT = Union[GPTModel, ParallelGPTModel]
 
@@ -70,14 +70,26 @@ class DecodeEngine:
 
     def prefill(self, request_id: str, tokens: np.ndarray) -> np.ndarray:
         """Admit a request and run its prompt; returns the ``(v,)`` logits
-        for the position after the last prompt token."""
+        for the position after the last prompt token.
+
+        Admission is all-or-nothing: if the pool runs out mid-prompt the
+        partial request is freed and :class:`KVAdmissionFull` is raised,
+        so a failed admission leaves the cache exactly as it found it and
+        is always safe to retry (elsewhere, or later).
+        """
         tokens = np.asarray(tokens, dtype=np.int64).reshape(-1)
         if tokens.size == 0:
             raise ConfigError("prefill needs at least one prompt token")
         self.cache.add_request(request_id)
         logits = None
-        for token in tokens:
-            logits = self.decode([request_id], [token])
+        try:
+            for token in tokens:
+                logits = self.decode([request_id], [token])
+        except KVCacheFull as error:
+            self.cache.free_request(request_id)
+            raise KVAdmissionFull(
+                f"prefill of {request_id!r} ({tokens.size} token(s)) does "
+                f"not fit the pool") from error
         return logits[0]
 
     def decode(self, request_ids: Sequence[str],
@@ -85,7 +97,7 @@ class DecodeEngine:
         """Advance every request by one token; returns ``(B, v)`` logits.
 
         Atomic with respect to the cache: the needed fresh blocks are
-        counted up front and :class:`KVCacheFull` is raised *before* any
+        counted up front and :class:`KVStepFull` is raised *before* any
         slot is claimed, so a failed step leaves no request half-advanced.
         """
         tokens = np.asarray(tokens, dtype=np.int64).reshape(-1)
@@ -93,7 +105,7 @@ class DecodeEngine:
             raise ConfigError("decode needs one token per request")
         need = sum(1 for r in request_ids if self.cache.needs_block(r))
         if need > self.cache.free_blocks:
-            raise KVCacheFull(
+            raise KVStepFull(
                 f"decode step needs {need} fresh block(s); "
                 f"{self.cache.free_blocks} free")
         for request_id in request_ids:

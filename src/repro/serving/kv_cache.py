@@ -49,7 +49,26 @@ from ..tensor.dtypes import FP16
 
 class KVCacheFull(PlanningError):
     """No free block: admission must wait or a running request must be
-    preempted (the scheduler's save-vs-recompute decision point)."""
+    preempted (the scheduler's save-vs-recompute decision point).
+
+    Callers that need to react differently to the two exhaustion points
+    catch the subtypes: :class:`KVAdmissionFull` (a *new* request could
+    not be admitted — safe to retry elsewhere or later) versus
+    :class:`KVStepFull` (an already-resident request could not grow
+    mid-decode — the local scheduler's preemption trigger, never a
+    router-level retry)."""
+
+
+class KVAdmissionFull(KVCacheFull):
+    """Admission rejection: a new (or swapped-in) request does not fit the
+    pool right now.  Nothing was claimed; the request is untouched, so a
+    fleet router may retry the dispatch on another replica or back off."""
+
+
+class KVStepFull(KVCacheFull):
+    """Mid-decode exhaustion: a *resident* request needs a fresh block and
+    the pool has none.  The owning scheduler must preempt; retrying the
+    same step without freeing blocks cannot succeed."""
 
 
 @dataclass
@@ -158,7 +177,7 @@ class PagedKVCache:
         try:
             handle = self.arena.alloc(self.block_bytes)
         except PlanningError as error:
-            raise KVCacheFull(str(error)) from error
+            raise KVStepFull(str(error)) from error
         block = self.arena.offset_of(handle) // self.block_bytes
         self._handles[block] = handle
         for rank in range(self.world):
@@ -190,7 +209,7 @@ class PagedKVCache:
     def reserve_token(self, request_id: str) -> int:
         """Claim the next token slot; grows the table by one block when
         its capacity is exhausted.  Returns the slot's position.  Raises
-        :class:`KVCacheFull` (leaving the table unchanged) when the pool
+        :class:`KVStepFull` (leaving the table unchanged) when the pool
         is empty — the scheduler's preemption trigger."""
         table = self.block_table(request_id)
         if table.num_tokens == len(table.block_ids) * self.block_size:
@@ -260,9 +279,9 @@ class PagedKVCache:
 
     def swap_in(self, swapped: SwappedKV) -> None:
         """Restore a swapped request bit-exactly (raises
-        :class:`KVCacheFull` untouched when blocks are short)."""
+        :class:`KVAdmissionFull` untouched when blocks are short)."""
         if not self.can_admit(swapped.num_tokens):
-            raise KVCacheFull(
+            raise KVAdmissionFull(
                 f"swap-in of {swapped.request_id!r} needs "
                 f"{self.blocks_for_tokens(swapped.num_tokens)} block(s); "
                 f"{self.free_blocks} free")

@@ -30,7 +30,7 @@ from ..inference import sample_next
 from ..observability.serialize import dumps_json
 from ..observability.tracer import Tracer, span_or_null
 from .engine import DecodeEngine
-from .kv_cache import SwappedKV
+from .kv_cache import KVAdmissionFull, SwappedKV
 from .perf import ServingPerfModel
 
 POLICIES = ("swap", "recompute")
@@ -72,7 +72,17 @@ def generate_requests(config: ModelConfig, num_requests: int, seed: int,
 
 
 @dataclass
-class _Running:
+class RequestState:
+    """One admitted request's live decode state.
+
+    This is the *control-plane* record: the sampling stream, the logits
+    for the next draw, and the tokens generated so far.  It is what a
+    fleet router carries across replicas when it migrates or recovers a
+    request — the KV pages are device state and may be lost, but this
+    record (conceptually held by the router, which already streamed the
+    tokens to the client) survives any replica fault.
+    """
+
     spec: RequestSpec
     rng: np.random.Generator
     logits: np.ndarray
@@ -81,6 +91,15 @@ class _Running:
     tokens: List[int] = field(default_factory=list)
     token_latencies: List[float] = field(default_factory=list)
     preemptions: int = 0
+
+    @property
+    def resident_tokens(self) -> int:
+        """Tokens a replay (prompt + generated so far) must prefill."""
+        return len(self.spec.prompt) + len(self.tokens)
+
+
+#: Backwards-compatible private alias (pre-fleet name).
+_Running = RequestState
 
 
 @dataclass
@@ -141,7 +160,8 @@ class ContinuousBatchingScheduler:
     def __init__(self, engine: DecodeEngine, perf: ServingPerfModel,
                  policy: str = "swap", max_batch: int = 8, seed: int = 0,
                  strategy: str = "greedy", top_k: int = 10,
-                 temperature: float = 1.0, tracer: Optional[Tracer] = None):
+                 temperature: float = 1.0, tracer: Optional[Tracer] = None,
+                 subsystem: str = "serving"):
         if policy not in POLICIES:
             raise ConfigError(f"unknown preemption policy {policy!r}")
         if max_batch < 1:
@@ -149,6 +169,7 @@ class ContinuousBatchingScheduler:
         self.engine = engine
         self.perf = perf
         self.policy = policy
+        self.subsystem = subsystem
         self.max_batch = max_batch
         self.seed = seed
         self.strategy = strategy
@@ -160,10 +181,11 @@ class ContinuousBatchingScheduler:
         self.resumes = 0
         self.max_drift = 0.0
         self._order = 0
-        self._running: Dict[str, _Running] = {}
-        self._preempted: Deque[Tuple[_Running, Optional[SwappedKV]]] = deque()
+        self._running: Dict[str, RequestState] = {}
+        self._preempted: Deque[Tuple[RequestState,
+                                     Optional[SwappedKV]]] = deque()
         self._timeline: List[dict] = []
-        self._finished: List[_Running] = []
+        self._finished: List[RequestState] = []
         self._finish_times: Dict[str, float] = {}
 
     # -- clock/trace helpers ----------------------------------------------
@@ -173,7 +195,7 @@ class ContinuousBatchingScheduler:
             self.tracer.advance(seconds)
 
     def _span(self, name: str, phase: str, **args):
-        return span_or_null(self.tracer, name, subsystem="serving",
+        return span_or_null(self.tracer, name, subsystem=self.subsystem,
                             phase=phase, **args)
 
     def _event(self, event: str, **fields) -> None:
@@ -277,6 +299,121 @@ class ContinuousBatchingScheduler:
             if done:
                 del self._running[state.spec.request_id]
                 self._finish(state)
+
+    # -- fleet hooks -------------------------------------------------------
+    # ``run`` drives a closed loop over one engine; a fleet router
+    # (:mod:`repro.fleet`) instead drives N schedulers round by round
+    # through the four hooks below.  They reuse the exact admission /
+    # span / clock machinery above, so a request decoded through the
+    # hooks samples the same tokens as one decoded by ``run``.
+
+    def submit(self, spec: RequestSpec) -> None:
+        """Admit one externally-dispatched request, or raise
+        :class:`KVAdmissionFull` (retryable on another replica).
+
+        Refuses while preempted work is queued: resumed requests hold
+        FCFS priority over new admissions, exactly as in ``run``.
+        """
+        if self._preempted:
+            raise KVAdmissionFull(
+                f"replica has preempted work queued ahead of "
+                f"{spec.request_id!r}")
+        if len(self._running) >= self.max_batch:
+            raise KVAdmissionFull(
+                f"batch is full ({self.max_batch}); cannot admit "
+                f"{spec.request_id!r}")
+        if not self.engine.cache.can_admit(len(spec.prompt) + 1):
+            raise KVAdmissionFull(
+                f"KV pool too full to admit {spec.request_id!r}")
+        self._admit(spec)
+
+    def step(self) -> List[RequestState]:
+        """Advance every resident request one decode round; returns the
+        requests that finished this round."""
+        self._resume_preempted()
+        before = len(self._finished)
+        if self._running:
+            self._decode_iteration()
+        return self._finished[before:]
+
+    def extract(self, request_id: str) -> Tuple[RequestState,
+                                                Optional[SwappedKV]]:
+        """Remove a request from this replica so the router can migrate
+        it.  A running request leaves under this replica's preemption
+        policy (``swap`` hands back host-resident KV pages for a
+        bit-exact restore elsewhere; ``recompute`` hands back only the
+        control record); an already-preempted request leaves as queued.
+        """
+        if request_id in self._running:
+            state = self._running.pop(request_id)
+            state.preemptions += 1
+            self.preemptions += 1
+            with self._span("serve.preempt", "preempt", request=request_id,
+                            policy=self.policy):
+                if self.policy == "swap":
+                    swapped = self.engine.swap_out(request_id)
+                    self._advance(self.perf.swap_time(swapped.nbytes
+                                                      * self.engine.world))
+                else:
+                    swapped = None
+                    self.engine.finish(request_id)
+            self._event("extract", request=request_id, policy=self.policy)
+            return state, swapped
+        for i, (state, swapped) in enumerate(self._preempted):
+            if state.spec.request_id == request_id:
+                del self._preempted[i]
+                self._event("extract", request=request_id,
+                            policy=self.policy)
+                return state, swapped
+        raise ConfigError(f"request {request_id!r} is not on this replica")
+
+    def can_accept(self, state: RequestState) -> bool:
+        """Would :meth:`inject` of ``state`` succeed right now?  Lets a
+        router pick a target *before* paying migration wire time."""
+        return (len(self._running) < self.max_batch
+                and self.engine.cache.can_admit(state.resident_tokens + 1))
+
+    def inject(self, state: RequestState,
+               swapped: Optional[SwappedKV] = None) -> None:
+        """Resume a migrated request here: bit-exact swap-in of its host
+        KV pages, or recompute-from-prompt replay when ``swapped`` is
+        None.  Raises :class:`KVAdmissionFull` if it does not fit."""
+        spec = state.spec
+        if len(self._running) >= self.max_batch:
+            raise KVAdmissionFull(
+                f"batch is full ({self.max_batch}); cannot inject "
+                f"{spec.request_id!r}")
+        if not self.engine.cache.can_admit(state.resident_tokens + 1):
+            raise KVAdmissionFull(
+                f"KV pool too full to inject {spec.request_id!r}")
+        with self._span("serve.resume", "resume", request=spec.request_id,
+                        policy="swap" if swapped is not None
+                        else "recompute"):
+            if swapped is not None:
+                self.engine.swap_in(swapped)
+                self._advance(self.perf.swap_time(swapped.nbytes
+                                                  * self.engine.world))
+            else:
+                replay = np.concatenate(
+                    [spec.prompt, np.asarray(state.tokens, dtype=np.int64)])
+                state.logits = self.engine.prefill(spec.request_id, replay)
+                self._advance(self.perf.prefill_time(len(replay)))
+        state.order = self._next_order()
+        self._running[spec.request_id] = state
+        self.resumes += 1
+        self._event("inject", request=spec.request_id)
+
+    def resident_requests(self) -> List[Tuple[RequestState,
+                                              Optional[SwappedKV]]]:
+        """Every request this replica owns: running requests first in
+        batch order (device KV, no swap record), then the preempted
+        queue FCFS (with any host-side KV copies)."""
+        batch = sorted(self._running.values(), key=lambda s: s.order)
+        return [(state, None) for state in batch] + list(self._preempted)
+
+    @property
+    def num_resident(self) -> int:
+        return len(self._running) + len(self._preempted)
 
     # -- the loop ----------------------------------------------------------
     def run(self, specs: Sequence[RequestSpec]) -> ServeReport:

@@ -1,0 +1,291 @@
+"""Chaos-serving fleet tests (:mod:`repro.fleet`).
+
+The headline contract mirrors the training side's bitwise-identical
+weights: under any fleet fault plan, every request's streamed token
+sequence is identical to the fault-free run at the same seed, whether
+recovery migrated its KV pages bit-exactly or recomputed them from the
+prompt.  Everything else — the waste ledger, the health transitions, the
+report bytes, the trace — is deterministic on the simulated clock.
+"""
+
+import pytest
+
+from repro.comm import ProcessGroup
+from repro.config import ModelConfig
+from repro.errors import ConfigError, PlanningError
+from repro.fleet import FleetReport, FleetRouter, Replica, ReplicaHealth, \
+    build_fleet
+from repro.observability import Tracer
+from repro.observability.perfetto import (
+    REPLICA_PID_BASE,
+    SUBSYSTEM_PIDS,
+    merged_trace,
+    validate_trace_events,
+)
+from repro.observability.serialize import dumps_json
+from repro.planner import FleetCapacity, plan_fleet_capacity
+from repro.resilience import FaultKind, FaultPlan, FaultSpec
+from repro.serving import generate_requests
+
+CFG = ModelConfig(num_layers=2, hidden_size=32, num_heads=4,
+                  seq_length=32, vocab_size=16, name="fleet-tiny")
+
+SPEC_KW = dict(num_requests=10, seed=5, arrival_rate=5000.0,
+               prompt_lengths=(1, 3), new_tokens=(4, 16))
+
+#: One of each fleet fault kind: a permanent crash mid-decode, a
+#: straggler, and a dropped dispatch — the default chaos diet.
+CHAOS_PLAN = FaultPlan([
+    FaultSpec(step=3, kind=FaultKind.REPLICA_CRASH, rank=1, permanent=True),
+    FaultSpec(step=5, kind=FaultKind.SLOW_REPLICA, rank=2, slowdown=8.0),
+    FaultSpec(step=1, kind=FaultKind.DISPATCH_LOSS),
+])
+
+
+def _fleet(plan=None, tracer=None, **kw):
+    kw.setdefault("block_size", 2)
+    kw.setdefault("num_blocks", 12)
+    kw.setdefault("max_batch", 4)
+    kw.setdefault("seed", 5)
+    return build_fleet(CFG, 3, plan=plan, tracer=tracer, **kw)
+
+
+def _run(plan=None, tracer=None, specs=None, **kw):
+    fleet = _fleet(plan=plan, tracer=tracer, **kw)
+    report = fleet.run(specs if specs is not None
+                       else generate_requests(CFG, **SPEC_KW))
+    return fleet, report
+
+
+@pytest.fixture(scope="module")
+def chaos():
+    return _run(CHAOS_PLAN)
+
+
+@pytest.fixture(scope="module")
+def clean():
+    return _run()
+
+
+class TestTokenIdentity:
+    def test_chaos_tokens_identical_to_clean(self, chaos, clean):
+        chaos_fleet, chaos_report = chaos
+        clean_fleet, clean_report = clean
+        assert chaos_report.completed == clean_report.completed == \
+            chaos_report.requests
+        assert chaos_fleet.tokens_by_request() == \
+            clean_fleet.tokens_by_request()
+
+    @pytest.mark.parametrize("tp,sp", [(2, False), (2, True)])
+    def test_parallel_layouts_preserve_tokens(self, tp, sp):
+        specs = generate_requests(CFG, num_requests=6, seed=5,
+                                  arrival_rate=5000.0, prompt_lengths=(1, 3),
+                                  new_tokens=(4, 12))
+        kw = dict(tensor_parallel=tp, sequence_parallel=sp, specs=specs)
+        chaos_fleet, chaos_report = _run(CHAOS_PLAN, **kw)
+        clean_fleet, _ = _run(**kw)
+        assert chaos_report.completed == len(specs)
+        assert chaos_fleet.tokens_by_request() == \
+            clean_fleet.tokens_by_request()
+        assert chaos_report.kv_drift_bytes == 0.0
+
+    def test_recompute_policy_also_identical(self, clean):
+        chaos_fleet, chaos_report = _run(CHAOS_PLAN, policy="recompute")
+        clean_fleet, _ = clean
+        assert chaos_report.completed == chaos_report.requests
+        assert chaos_fleet.tokens_by_request() == \
+            clean_fleet.tokens_by_request()
+
+
+class TestFaultHandling:
+    def test_every_fault_kind_fires_and_is_detected(self, chaos):
+        _, report = chaos
+        kinds = {f.kind for f in report.faults}
+        assert kinds == {"replica_crash", "slow_replica", "dispatch_loss"}
+        assert all(f.detected for f in report.faults)
+        assert all(f.detection_latency_s > 0 for f in report.faults)
+
+    def test_recovery_uses_both_ladder_rungs(self, chaos):
+        _, report = chaos
+        # The crash strands requests with and without live swap copies,
+        # so both recovery paths must have been exercised.
+        assert report.migrations > 0
+        assert report.recomputes > 0
+        actions = {r.action for r in report.recoveries}
+        assert {"retry", "replan", "recover", "drain"} <= actions
+
+    def test_permanent_crash_retires_and_shrinks(self, chaos):
+        fleet, report = chaos
+        assert fleet.replicas[1].health is ReplicaHealth.RETIRED
+        assert report.shrinks == 1
+        assert report.final_replicas == 2
+        assert fleet.capacity.num_replicas == 2
+        assert fleet.group.size == 2
+
+    def test_transient_crash_restarts_healthy(self):
+        plan = FaultPlan([FaultSpec(step=3, kind=FaultKind.REPLICA_CRASH,
+                                    rank=1, permanent=False)])
+        fleet, report = _run(plan)
+        assert fleet.replicas[1].health is ReplicaHealth.HEALTHY
+        assert report.final_replicas == 3
+        assert report.completed == report.requests
+        _clean_fleet, _ = _run()
+        assert fleet.tokens_by_request() == _clean_fleet.tokens_by_request()
+
+    def test_straggler_flagged_degraded_and_drained(self, chaos):
+        fleet, report = chaos
+        assert fleet.replicas[2].health is ReplicaHealth.DEGRADED
+        drains = [r for r in report.recoveries if r.action == "drain"]
+        assert drains and "replica 2" in drains[0].detail
+
+    def test_all_stragglers_degrade_but_never_deadlock(self):
+        # Every replica flagged: dispatch must fall back to degraded
+        # service instead of spinning the queue forever.
+        plan = FaultPlan([
+            FaultSpec(step=2, kind=FaultKind.SLOW_REPLICA, rank=r,
+                      slowdown=8.0)
+            for r in range(3)
+        ])
+        fleet, report = _run(plan)
+        assert report.completed == report.requests
+        assert all(r.health is ReplicaHealth.DEGRADED
+                   for r in fleet.replicas)
+        clean_fleet, _ = _run()
+        assert fleet.tokens_by_request() == clean_fleet.tokens_by_request()
+
+    def test_training_fault_kinds_rejected(self):
+        with pytest.raises(ConfigError, match="training fault"):
+            _fleet(plan=FaultPlan([
+                FaultSpec(step=0, kind=FaultKind.RANK_CRASH)]))
+
+    def test_unfittable_request_raises(self):
+        specs = generate_requests(CFG, num_requests=1, seed=0,
+                                  prompt_lengths=(3, 3), new_tokens=(8, 8))
+        with pytest.raises(PlanningError, match="empty"):
+            _run(specs=specs, num_blocks=1)
+
+
+class TestDeterminismAndAccounting:
+    def test_report_byte_identical_across_runs(self, chaos):
+        _, first = chaos
+        _, second = _run(CHAOS_PLAN)
+        assert dumps_json(first.to_json()) == dumps_json(second.to_json())
+
+    def test_clean_goodput_is_exactly_one(self, clean):
+        _, report = clean
+        assert report.wasted_s == 0.0
+        assert report.goodput() == 1.0
+        assert not report.faults and not report.recoveries
+
+    def test_chaos_goodput_strictly_between_zero_and_one(self, chaos):
+        _, report = chaos
+        assert 0.0 < report.goodput() < 1.0
+        assert report.wasted_s > 0.0
+
+    def test_zero_kv_drift_under_chaos(self, chaos):
+        _, report = chaos
+        assert report.kv_drift_bytes == 0.0
+
+    def test_latency_quantiles_ordered(self, chaos):
+        _, report = chaos
+        assert 0.0 < report.ttft_p50_s <= report.ttft_p95_s \
+            <= report.ttft_p99_s
+        assert 0.0 < report.tpot_p50_s <= report.tpot_p95_s \
+            <= report.tpot_p99_s
+
+    def test_per_request_ledger_complete(self, chaos):
+        _, report = chaos
+        assert len(report.per_request) == report.requests
+        for row in report.per_request:
+            assert len(row["generated_tokens"]) > 0
+            assert row["attempts"] >= 1
+        assert any(row["recoveries"] > 0 for row in report.per_request)
+
+    def test_report_roundtrip_inherits_resilience_fields(self, chaos):
+        _, report = chaos
+        doc = report.to_json()
+        assert isinstance(report, FleetReport)
+        assert doc["goodput"] == report.goodput()
+        assert doc["replicas"] == 3 and doc["final_replicas"] == 2
+        assert len(doc["faults"]) == len(report.faults)
+        assert "fleet:" in report.summary()
+
+
+class TestSLOShedding:
+    def test_sheds_lowest_tier_first(self):
+        specs = generate_requests(CFG, num_requests=16, seed=5,
+                                  arrival_rate=20_000.0,
+                                  prompt_lengths=(1, 3), new_tokens=(4, 16))
+        fleet, report = _run(specs=specs, num_tiers=2, slo_ttft_s=1e-3)
+        assert report.shed > 0
+        shed_rows = [r for r in report.per_request if r.get("shed")]
+        assert shed_rows and all(r["tier"] == 1 for r in shed_rows)
+        # Nothing was silently lost: every request either finished or
+        # was shed with a recovery record.
+        assert report.completed + report.shed == report.requests
+        sheds = [r for r in report.recoveries if r.action == "shed"]
+        assert len(sheds) == report.shed
+
+    def test_no_shedding_without_slo(self, chaos):
+        _, report = chaos
+        assert report.shed == 0
+
+
+class TestTrace:
+    def test_trace_valid_with_fleet_and_replica_pids(self):
+        tracer = Tracer()
+        _run(CHAOS_PLAN, tracer=tracer)
+        doc = merged_trace(tracer)
+        validate_trace_events(doc["traceEvents"])
+        fleet_events = [e for e in doc["traceEvents"]
+                        if e.get("cat") == "fleet" and e["ph"] == "X"]
+        assert fleet_events
+        assert all(e["pid"] == SUBSYSTEM_PIDS["fleet"]
+                   for e in fleet_events)
+        phases = {e["args"]["phase"] for e in fleet_events}
+        assert {"dispatch", "migrate", "recover"} <= phases
+        replica_pids = {e["pid"] for e in doc["traceEvents"]
+                        if str(e.get("cat", "")).startswith("replica")}
+        assert replica_pids == {REPLICA_PID_BASE + i for i in range(3)}
+
+
+class TestCapacityPlanning:
+    def test_fleet_capacity_arithmetic(self):
+        cap = plan_fleet_capacity(num_replicas=3, num_blocks=12,
+                                  block_size=2, max_batch=4)
+        assert cap.tokens_per_replica == 24
+        assert cap.token_capacity == 72
+        assert cap.max_resident_requests == 12
+        assert not cap.saturated_by(72)
+        assert cap.saturated_by(73)
+
+    def test_shrink_refits_and_validates(self):
+        cap = FleetCapacity(num_replicas=2, num_blocks=12, block_size=2,
+                            max_batch=4)
+        assert cap.shrink().token_capacity == 24
+        with pytest.raises(PlanningError):
+            cap.shrink(3)
+        with pytest.raises(PlanningError):
+            FleetCapacity(num_replicas=1, num_blocks=0, block_size=2,
+                          max_batch=4)
+
+    def test_process_group_accepts_fleet_scope(self):
+        group = ProcessGroup(3, "fleet")
+        assert group.size == 3
+        assert group.shrink(1).size == 2
+
+
+class TestBuildValidation:
+    def test_build_fleet_validates(self):
+        with pytest.raises(ConfigError):
+            build_fleet(CFG, 0)
+        with pytest.raises(ConfigError):
+            FleetRouter([])
+        with pytest.raises(ConfigError):
+            _fleet(num_tiers=0)
+
+    def test_replica_subsystem_names(self):
+        fleet = _fleet()
+        assert [r.subsystem for r in fleet.replicas] == \
+            ["replica0", "replica1", "replica2"]
+        assert all(isinstance(r, Replica) for r in fleet.replicas)

@@ -382,3 +382,63 @@ class TestRetryExhaustion:
         result = resilient.run(3)
         assert result.report.rollbacks == 1
         assert len(result.losses) == 3
+
+
+class TestSeededBackoff:
+    """The fleet's retry spacing: jittered exponential backoff that is a
+    pure function of ``(seed, attempt, request_id)`` — deterministic at
+    equal seeds yet decorrelated across requests."""
+
+    def test_envelope_grows_exponentially_to_the_cap(self):
+        from repro.resilience import backoff_delay
+
+        kw = dict(base_s=0.01, factor=2.0, cap_s=0.5, jitter=0.0)
+        assert backoff_delay(0, 0, "r", **kw) == pytest.approx(0.01)
+        assert backoff_delay(0, 3, "r", **kw) == pytest.approx(0.08)
+        assert backoff_delay(0, 9, "r", **kw) == pytest.approx(0.5)
+        # huge attempt counts must clamp, not overflow factor**attempt
+        assert backoff_delay(0, 10**6, "r", **kw) == pytest.approx(0.5)
+
+    def test_jitter_window_and_decorrelation(self):
+        from repro.resilience import backoff_delay, backoff_jitter
+
+        delays = {backoff_delay(7, 2, f"req{i}") for i in range(16)}
+        assert len(delays) == 16  # distinct requests spread out
+        for i in range(16):
+            d = backoff_delay(7, 2, f"req{i}", base_s=0.01, cap_s=1.0,
+                              jitter=0.5)
+            assert 0.02 <= d <= 0.04  # [envelope/2, envelope]
+        assert 0.0 <= backoff_jitter(7, 2, "req0") < 1.0
+
+    def test_deterministic_across_process_restarts(self):
+        """The delay must survive a process restart unchanged — and be
+        independent of PYTHONHASHSEED, which would silently vary if the
+        implementation leaned on ``hash()``."""
+        import os
+        import subprocess
+        import sys
+
+        from repro.resilience import backoff_delay
+
+        expected = backoff_delay(7, 3, "req-1")
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        code = ("from repro.resilience import backoff_delay; "
+                "print(repr(backoff_delay(7, 3, 'req-1')))")
+        for hashseed in ("0", "12345"):
+            env = dict(os.environ, PYTHONPATH=src_dir,
+                       PYTHONHASHSEED=hashseed)
+            out = subprocess.check_output([sys.executable, "-c", code],
+                                          env=env)
+            assert float(out) == expected
+
+    def test_validation(self):
+        from repro.resilience import backoff_delay
+
+        with pytest.raises(ConfigError):
+            backoff_delay(0, -1, "r")
+        with pytest.raises(ConfigError):
+            backoff_delay(0, 0, "r", base_s=0.0)
+        with pytest.raises(ConfigError):
+            backoff_delay(0, 0, "r", factor=0.5)
+        with pytest.raises(ConfigError):
+            backoff_delay(0, 0, "r", jitter=1.5)

@@ -231,6 +231,71 @@ class TestScheduler:
             validate_trace_events(events)
 
 
+class TestCrossReplicaHandoff:
+    """The fleet's mid-stream recovery primitive: ``extract`` a live
+    request from one scheduler and ``inject`` it into another (as the
+    router does when a replica crashes or straggles), with either the
+    bit-exact swapped KV pages or a recompute-from-prompt replay.  The
+    streamed tokens must not change — the per-request sampling stream
+    travels with the :class:`~repro.serving.RequestState`."""
+
+    def _make(self, model, policy):
+        world = getattr(getattr(model, "group", None), "size", 1)
+        cache = PagedKVCache(CFG, tensor_parallel=world, block_size=2,
+                             num_blocks=16)
+        return ContinuousBatchingScheduler(
+            DecodeEngine(model, cache),
+            ServingPerfModel(CFG, tensor_parallel=world), policy=policy,
+            max_batch=4, seed=11)
+
+    @staticmethod
+    def _drive(schedulers, done):
+        while any(s.num_resident for s in schedulers):
+            for s in schedulers:
+                for state in s.step():
+                    done[state.spec.request_id] = list(state.tokens)
+
+    @pytest.mark.parametrize("layout", ["serial", "tp", "tp+sp"])
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_mid_stream_handoff_preserves_tokens(self, layouts, layout,
+                                                 policy):
+        model = layouts[layout]
+        specs = generate_requests(CFG, num_requests=3, seed=11,
+                                  prompt_lengths=(1, 3), new_tokens=(6, 10))
+
+        baseline = {}
+        solo = self._make(model, policy)
+        for spec in specs:
+            solo.submit(spec)
+        self._drive([solo], baseline)
+        assert len(baseline) == len(specs)
+
+        a, b = self._make(model, policy), self._make(model, policy)
+        done = {}
+        for spec in specs:
+            a.submit(spec)
+        for _ in range(2):
+            for state in a.step():
+                done[state.spec.request_id] = list(state.tokens)
+        victim = a.resident_requests()[0][0]
+        state, swapped = a.extract(victim.spec.request_id)
+        # swap policy hands over the KV pages bit-exactly; recompute
+        # hands over only the control record and replays the context
+        assert (swapped is not None) == (policy == "swap")
+        assert b.can_accept(state)
+        b.inject(state, swapped)
+        self._drive([a, b], done)
+
+        assert done == baseline
+        assert a.engine.cache.drift_bytes() == 0.0
+        assert b.engine.cache.drift_bytes() == 0.0
+
+    def test_extract_unknown_request_raises(self, serial):
+        sched = self._make(serial, "swap")
+        with pytest.raises(ConfigError):
+            sched.extract("nope")
+
+
 class TestStaticBaselineAndBench:
     def test_static_batching_generates_every_token(self):
         perf = ServingPerfModel(CFG)
