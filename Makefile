@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction.
 PY ?= python
 
-.PHONY: test bench bench-gate chaos trace serve fleet report examples all clean
+.PHONY: test bench bench-gate chaos trace serve fleet monitor report examples all clean
 
 test:
 	$(PY) -m pytest tests/
@@ -50,6 +50,16 @@ fleet:
 	$(PY) -m repro fleet --fault-rate 0.3 --verify > /dev/null
 	@echo "fleet chaos campaigns: token streams identical to fault-free; trace in fleet-trace.json"
 
+# Fleet request telemetry: the chaos fleet with request tracing, the
+# flight recorder and the SLO monitor attached; detection precision/
+# recall, the span partition and the ledger reconciliation are all
+# exact (docs/observability.md "Request tracing & SLO monitoring").
+monitor:
+	$(PY) -m pytest tests/test_request_trace.py tests/test_monitor.py
+	$(PY) -m repro monitor --postmortem postmortem.json \
+		--request-trace request-trace.json --trace-out monitor-trace.json
+	@echo "telemetry artifacts: postmortem.json request-trace.json monitor-trace.json"
+
 report:
 	$(PY) -m repro report --output report.md
 
@@ -60,5 +70,6 @@ examples:
 all: test bench report
 
 clean:
-	rm -rf .pytest_cache .hypothesis report.md trace-out serve-trace.json fleet-trace.json
+	rm -rf .pytest_cache .hypothesis report.md trace-out serve-trace.json fleet-trace.json \
+		postmortem.json request-trace.json monitor-trace.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -422,10 +422,12 @@ def cmd_serve(args) -> str:
     throughput, token latency, preemption traffic and the KV accounting
     drift (always exactly zero).  ``--json`` emits the full canonical
     :class:`~repro.serving.ServeReport` — byte-identical at equal seeds.
+    ``--request-trace`` additionally writes the per-request span graphs
+    (queue-wait / prefill / decode / preempt) as canonical JSON.
     """
     from .config import ModelConfig
     from .layers import GPTModel
-    from .observability import Tracer
+    from .observability import RequestTracker, Tracer, verify_partition
     from .parallel.transformer import ParallelGPTModel
     from .serving import (
         ContinuousBatchingScheduler,
@@ -450,9 +452,11 @@ def cmd_serve(args) -> str:
                          num_blocks=args.num_blocks)
     perf = ServingPerfModel(model_cfg, tensor_parallel=args.tp)
     tracer = Tracer()
+    tracker = RequestTracker(tracer=tracer) if args.request_trace else None
     scheduler = ContinuousBatchingScheduler(
         DecodeEngine(model, cache), perf, policy=args.policy,
-        max_batch=args.max_batch, seed=args.seed, tracer=tracer)
+        max_batch=args.max_batch, seed=args.seed, tracer=tracer,
+        request_tracker=tracker)
     specs = generate_requests(model_cfg, args.requests, seed=args.seed,
                               arrival_rate=5000.0, prompt_lengths=(1, 3),
                               new_tokens=(2, 40))
@@ -464,6 +468,13 @@ def cmd_serve(args) -> str:
         validate_trace_file(args.trace_out)
         trace_note = (f"\n  {args.trace_out}: {num_events} events "
                       "(validated; open in https://ui.perfetto.dev)")
+    if tracker is not None:
+        partition = verify_partition(tracker)
+        with open(args.request_trace, "w") as fh:
+            fh.write(tracker.to_json())
+        trace_note += (
+            f"\n  {args.request_trace}: {len(tracker.traces())} request "
+            f"span graph(s), partition exact={partition['exact']}")
     if args.json:
         return emit_json(report.to_dict())
     return (
@@ -479,6 +490,26 @@ def cmd_serve(args) -> str:
     )
 
 
+def _chaos_plan(seed: int, fault_rate: float, world_size: int):
+    """The fleet fault plan shared by ``fleet`` and ``monitor``:
+    ``fault_rate >= 1`` is the fixed chaos plan (crash + straggler +
+    dispatch loss), in between is a seeded random plan, 0 is clean."""
+    from .resilience import FLEET_KINDS, FaultKind, FaultPlan, FaultSpec
+
+    if fault_rate <= 0.0:
+        return FaultPlan()
+    if fault_rate >= 1.0:
+        return FaultPlan([
+            FaultSpec(step=10, kind=FaultKind.REPLICA_CRASH, rank=1,
+                      permanent=True),
+            FaultSpec(step=18, kind=FaultKind.SLOW_REPLICA, rank=2,
+                      slowdown=6.0),
+            FaultSpec(step=2, kind=FaultKind.DISPATCH_LOSS),
+        ])
+    return FaultPlan.random(seed=seed, num_steps=32, fault_rate=fault_rate,
+                            world_size=world_size, kinds=FLEET_KINDS)
+
+
 def cmd_fleet(args) -> str:
     """Run the chaos-serving fleet: a seeded open-loop workload routed
     across N replicas while a fault plan crashes, slows and drops
@@ -487,11 +518,14 @@ def cmd_fleet(args) -> str:
     stream to match exactly — the serving-side analogue of the trainer's
     bitwise-identical-weights check.  ``--json`` emits the canonical
     :class:`~repro.fleet.FleetReport` — byte-identical at equal seeds.
+    ``--postmortem`` / ``--request-trace`` attach the flight recorder
+    and request tracker (pure observers — the report is unchanged) and
+    write their canonical-JSON artifacts.
     """
     from .config import ModelConfig
     from .fleet import build_fleet
-    from .observability import Tracer
-    from .resilience import FLEET_KINDS, FaultKind, FaultPlan, FaultSpec
+    from .observability import FlightRecorder, RequestTracker, Tracer
+    from .resilience import FaultPlan
     from .serving import generate_requests
 
     model_cfg = ModelConfig(name="fleet", num_layers=2, hidden_size=64,
@@ -499,31 +533,24 @@ def cmd_fleet(args) -> str:
     specs = generate_requests(model_cfg, args.requests, seed=args.seed,
                               arrival_rate=5000.0, prompt_lengths=(1, 3),
                               new_tokens=(8, 48))
-    if args.fault_rate > 0.0:
-        plan = FaultPlan([
-            FaultSpec(step=10, kind=FaultKind.REPLICA_CRASH, rank=1,
-                      permanent=True),
-            FaultSpec(step=18, kind=FaultKind.SLOW_REPLICA, rank=2,
-                      slowdown=6.0),
-            FaultSpec(step=2, kind=FaultKind.DISPATCH_LOSS),
-        ]) if args.fault_rate >= 1.0 else FaultPlan.random(
-            seed=args.seed, num_steps=32, fault_rate=args.fault_rate,
-            world_size=args.replicas, kinds=FLEET_KINDS)
-    else:
-        plan = FaultPlan()
+    plan = _chaos_plan(args.seed, args.fault_rate, args.replicas)
 
-    def _run(fault_plan, tracer=None):
+    def _run(fault_plan, tracer=None, recorder=None, tracker=None):
         fleet = build_fleet(
             model_cfg, args.replicas, tensor_parallel=args.tp,
             sequence_parallel=args.sequence_parallel,
             block_size=args.block_size, num_blocks=args.num_blocks,
             max_batch=args.max_batch, policy=args.policy, seed=args.seed,
             plan=fault_plan, tracer=tracer, num_tiers=args.tiers,
-            slo_ttft_s=args.slo_ttft_s)
+            slo_ttft_s=args.slo_ttft_s, recorder=recorder,
+            request_tracker=tracker)
         return fleet, fleet.run(specs)
 
     tracer = Tracer()
-    fleet, report = _run(plan, tracer=tracer)
+    recorder = FlightRecorder() if args.postmortem else None
+    tracker = RequestTracker(tracer=tracer) if args.request_trace else None
+    fleet, report = _run(plan, tracer=tracer, recorder=recorder,
+                         tracker=tracker)
     verify_note = ""
     if args.verify:
         clean_fleet, _ = _run(FaultPlan())
@@ -540,9 +567,127 @@ def cmd_fleet(args) -> str:
         validate_trace_file(args.trace_out)
         trace_note = (f"\n  {args.trace_out}: {num_events} events "
                       "(validated; open in https://ui.perfetto.dev)")
+    if recorder is not None:
+        with open(args.postmortem, "w") as fh:
+            fh.write(recorder.dumps())
+        trace_note += (f"\n  {args.postmortem}: {len(recorder.postmortems)} "
+                       f"postmortem(s) from {recorder.recorded} flight "
+                       f"event(s)")
+    if tracker is not None:
+        from .observability import verify_partition
+        partition = verify_partition(tracker)
+        with open(args.request_trace, "w") as fh:
+            fh.write(tracker.to_json())
+        trace_note += (
+            f"\n  {args.request_trace}: {len(tracker.traces())} request "
+            f"span graph(s), partition exact={partition['exact']}")
     if args.json:
         return emit_json(report.to_json())
     return report.summary() + verify_note + trace_note
+
+
+def cmd_monitor(args) -> str:
+    """Run the chaos fleet with the full request-telemetry stack —
+    distributed request tracing, the flight recorder and the SLO
+    burn-rate monitor feeding dispatch and shedding — then report the
+    exactness gates: monitor detections scored against the injected
+    fault plan (precision/recall), the zero-gap zero-overlap span
+    partition invariant, and TTFT/TPOT quantiles recomputed from the
+    span graphs alone reconciled bit-for-bit against the
+    :class:`~repro.fleet.FleetReport` ledger.
+    """
+    from .config import ModelConfig
+    from .fleet import build_fleet
+    from .observability import (
+        FlightRecorder,
+        RequestTracker,
+        SLOMonitor,
+        Tracer,
+        reconcile_quantiles,
+        verify_partition,
+    )
+    from .serving import generate_requests
+
+    model_cfg = ModelConfig(name="fleet", num_layers=2, hidden_size=64,
+                            num_heads=4, seq_length=48, vocab_size=32)
+    specs = generate_requests(model_cfg, args.requests, seed=args.seed,
+                              arrival_rate=5000.0, prompt_lengths=(1, 3),
+                              new_tokens=(8, 48))
+    plan = _chaos_plan(args.seed, args.fault_rate, args.replicas)
+
+    tracer = Tracer()
+    recorder = FlightRecorder(capacity=args.flight_capacity)
+    tracker = RequestTracker(tracer=tracer)
+    monitor = SLOMonitor(slo_ttft_s=args.slo_ttft_s,
+                         slo_tpot_s=args.slo_tpot_s,
+                         recorder=recorder, tracer=tracer)
+    fleet = build_fleet(model_cfg, args.replicas, tensor_parallel=args.tp,
+                        sequence_parallel=args.sequence_parallel,
+                        block_size=args.block_size,
+                        num_blocks=args.num_blocks,
+                        max_batch=args.max_batch, seed=args.seed,
+                        plan=plan, tracer=tracer, monitor=monitor,
+                        recorder=recorder, request_tracker=tracker)
+    report = fleet.run(specs)
+
+    score = monitor.score_against(report)
+    partition = verify_partition(tracker)
+    reconciled = reconcile_quantiles(tracker, report)
+    snapshot = monitor.snapshot()
+
+    notes = ""
+    if args.postmortem:
+        with open(args.postmortem, "w") as fh:
+            fh.write(recorder.dumps())
+        notes += (f"\n  {args.postmortem}: {len(recorder.postmortems)} "
+                  f"postmortem(s)")
+    if args.request_trace:
+        with open(args.request_trace, "w") as fh:
+            fh.write(tracker.to_json())
+        notes += (f"\n  {args.request_trace}: {len(tracker.traces())} "
+                  f"request span graph(s)")
+    if args.trace_out:
+        from .observability import export_trace, validate_trace_file
+        num_events = export_trace(tracer, args.trace_out)
+        validate_trace_file(args.trace_out)
+        notes += (f"\n  {args.trace_out}: {num_events} events "
+                  "(validated; open in https://ui.perfetto.dev)")
+
+    if args.json:
+        return emit_json({
+            "fleet": report.to_json(),
+            "detection": score,
+            "partition": partition,
+            "reconciliation": reconciled,
+            "monitor": snapshot,
+            "flight_recorder": {
+                "capacity": recorder.capacity,
+                "recorded": recorder.recorded,
+                "postmortems": len(recorder.postmortems),
+            },
+        })
+    health = ", ".join(f"{rid}:{v:.2f}"
+                       for rid, v in sorted(snapshot["health_scores"].items()))
+    return (
+        f"monitored fleet: {args.replicas} replica(s), "
+        f"{report.requests} request(s), seed {args.seed}, "
+        f"goodput {report.goodput():.1%} under {len(report.faults)} "
+        f"fault(s)\n"
+        f"  detections: {score['detections']} vs {score['injected']} "
+        f"injected — precision {score['precision']:.2f}, "
+        f"recall {score['recall']:.2f}\n"
+        f"  span partition: max gap {partition['max_gap_s']:.1e} s, "
+        f"max overlap {partition['max_overlap_s']:.1e} s, "
+        f"exact={partition['exact']}\n"
+        f"  ledger reconciliation over {reconciled['completed']} "
+        f"completed: ttft={reconciled['ttft_match']} "
+        f"tpot={reconciled['tpot_match']}\n"
+        f"  burn rates: ttft {snapshot['ttft_burn_long']:.2f}, "
+        f"tpot {snapshot['tpot_burn_long']:.2f} (long window); "
+        f"health [{health}]\n"
+        f"  flight recorder: {recorder.recorded} event(s), "
+        f"{len(recorder.postmortems)} postmortem(s)" + notes
+    )
 
 
 def cmd_bench(args) -> str:
@@ -573,7 +718,7 @@ def cmd_bench(args) -> str:
             summary += f", mfu {doc['utilization']['mfu']:.3e}"
         if "resilience" in doc:
             summary += f", goodput {doc['resilience']['goodput']:.1%}"
-        if "timing" in doc:
+        if "serial_speedup" in doc.get("timing", {}):
             summary += (f", fusion x{doc['timing']['serial_speedup']:.2f} "
                         f"serial / x{doc['timing']['tensor_parallel_speedup']:.2f} tp")
         if "serving" in doc:
@@ -583,6 +728,12 @@ def cmd_bench(args) -> str:
         if "fleet" in doc:
             summary += (f", fleet goodput {doc['fleet']['goodput']:.1%} "
                         f"under chaos")
+        if "telemetry" in doc:
+            summary += (f", detection P/R "
+                        f"{doc['telemetry']['detection_precision']:.2f}/"
+                        f"{doc['telemetry']['detection_recall']:.2f}, "
+                        f"partition exact="
+                        f"{doc['telemetry']['partition_exact']}")
         lines.append(summary + ")")
 
     if args.check:
@@ -750,6 +901,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="decode batch width cap")
     p.add_argument("--trace-out", default=None,
                    help="also write a validated Perfetto trace here")
+    p.add_argument("--request-trace", default=None, metavar="PATH",
+                   help="write per-request span graphs (canonical JSON) here")
     add_json_flag(p)
     p.set_defaults(fn=cmd_serve)
 
@@ -788,8 +941,50 @@ def build_parser() -> argparse.ArgumentParser:
                         "per-request token streams")
     p.add_argument("--trace-out", default=None,
                    help="also write a validated Perfetto trace here")
+    p.add_argument("--postmortem", default=None, metavar="PATH",
+                   help="attach the flight recorder and write its "
+                        "postmortem dumps (canonical JSON) here")
+    p.add_argument("--request-trace", default=None, metavar="PATH",
+                   help="write per-request span graphs (canonical JSON) here")
     add_json_flag(p)
     p.set_defaults(fn=cmd_fleet)
+
+    p = sub.add_parser(
+        "monitor", help="fleet run with request tracing, flight recorder "
+                        "and SLO burn-rate monitor; exact detection gates")
+    p.add_argument("--replicas", type=int, default=3,
+                   help="serving replicas in the fleet")
+    p.add_argument("--requests", type=int, default=24,
+                   help="open-loop workload size")
+    p.add_argument("--seed", type=int, default=1234,
+                   help="workload + sampling + fault-plan seed")
+    p.add_argument("--tp", type=int, default=1,
+                   help="tensor-parallel size inside each replica")
+    p.add_argument("--sequence-parallel", action="store_true",
+                   help="serve a sequence-parallel trained layout (tp > 1)")
+    p.add_argument("--block-size", type=int, default=4,
+                   help="token slots per KV block")
+    p.add_argument("--num-blocks", type=int, default=16,
+                   help="KV pool size in blocks, per replica")
+    p.add_argument("--max-batch", type=int, default=4,
+                   help="decode batch width cap, per replica")
+    p.add_argument("--fault-rate", type=float, default=1.0,
+                   help="0 = clean run; 1 = the default chaos plan; in "
+                        "between = seeded random per-round probability")
+    p.add_argument("--slo-ttft-s", type=float, default=0.05,
+                   help="TTFT SLO budget for the burn-rate windows")
+    p.add_argument("--slo-tpot-s", type=float, default=0.005,
+                   help="TPOT SLO budget for the burn-rate windows")
+    p.add_argument("--flight-capacity", type=int, default=64,
+                   help="flight-recorder ring size in events")
+    p.add_argument("--postmortem", default=None, metavar="PATH",
+                   help="write flight-recorder postmortems here")
+    p.add_argument("--request-trace", default=None, metavar="PATH",
+                   help="write per-request span graphs here")
+    p.add_argument("--trace-out", default=None,
+                   help="also write a validated Perfetto trace here")
+    add_json_flag(p)
+    p.set_defaults(fn=cmd_monitor)
 
     p = sub.add_parser(
         "bench", help="benchmark presets -> BENCH_*.json; --check gates "

@@ -14,6 +14,16 @@ the sampling stream travels with the request's control record
 pages bit-exactly (swap migration) or replays deterministic engine math
 (recompute-from-prompt).  See ``docs/serving.md`` ("Chaos serving") and
 ``docs/resilience.md`` (the fleet recovery ladder).
+
+The router also hosts the fleet's request-telemetry seams
+(:func:`build_fleet` accepts ``monitor=``, ``recorder=`` and
+``request_tracker=``): per-request span graphs with an exact
+partition invariant, an always-on flight-recorder ring with postmortem
+dumps, and the SLO burn-rate monitor whose health scores and shedding
+alerts feed back into dispatch — all one ``is None`` check per seam
+when detached.  See :mod:`repro.observability.request_trace`,
+:mod:`repro.observability.monitor` and ``docs/observability.md``
+("Request tracing & SLO monitoring").
 """
 
 from .report import FleetReport

@@ -178,7 +178,8 @@ class FleetRouter:
                  tracer: Optional[Tracer] = None, seed: int = 0,
                  num_tiers: int = 1, slo_ttft_s: Optional[float] = None,
                  backoff_base_s: Optional[float] = None,
-                 max_rounds: int = 100_000):
+                 max_rounds: int = 100_000, monitor=None, recorder=None,
+                 request_tracker=None):
         if not replicas:
             raise ConfigError("a fleet needs at least one replica")
         if num_tiers < 1:
@@ -201,6 +202,21 @@ class FleetRouter:
         self.backoff_base_s = (backoff_base_s if backoff_base_s is not None
                                else 2.0 * step_s)
         self.tracer = tracer
+        # Telemetry companions (all optional, all one-``is None``-check
+        # cheap when off): the SLO monitor consumes the router's
+        # heartbeat/decode/dispatch stream, the flight recorder rings up
+        # every decision, the request tracker partitions each request's
+        # wall time into causal spans on the router clock.
+        self.monitor = monitor
+        self.recorder = recorder
+        self.tracker = request_tracker
+        self._next_flow = 0
+        if monitor is not None:
+            # One straggler vocabulary: the monitor flags exactly what
+            # the watchdog's profiling alarm flags.
+            monitor.straggler_threshold = self.watchdog.straggler_threshold
+        if recorder is not None and self.watchdog.recorder is None:
+            self.watchdog.recorder = recorder
         self.seed = seed
         self.num_tiers = num_tiers
         self.slo_ttft_s = slo_ttft_s
@@ -241,6 +257,32 @@ class FleetRouter:
         if traced and self.tracer is not None:
             self.tracer.advance(seconds)
 
+    def _flow(self) -> int:
+        """A fresh Perfetto flow id for one router->replica delivery."""
+        fid = self._next_flow
+        self._next_flow += 1
+        return fid
+
+    def _mark(self, request_id: str, phase: str, **kw) -> None:
+        if self.tracker is not None:
+            self.tracker.mark(request_id, phase, self.clock, **kw)
+
+    def _record(self, kind: str, **fields) -> None:
+        if self.recorder is not None:
+            self.recorder.record(kind, self.clock, **fields)
+
+    def _postmortem(self, trigger: str, **context) -> None:
+        if self.recorder is not None:
+            self.recorder.postmortem(trigger, self.clock, **context)
+
+    def _end_round(self, round_idx: int) -> None:
+        """Heartbeat sweep: called once per round on *every* exit path
+        (decode, idle advance, final drain) so monitor detection rounds
+        line up with the fault ledger's ``step``."""
+        if self.monitor is not None:
+            self.monitor.end_round(
+                round_idx, [r.replica_id for r in self.replicas if r.live])
+
     def _tier(self, spec: RequestSpec) -> int:
         """Priority tier of a request (0 = highest).  Deterministic
         round-robin over the arrival index, so tiers interleave in time
@@ -260,6 +302,14 @@ class FleetRouter:
         if not pool:
             pool = [r for r in self.replicas
                     if r.live and not r.restart_pending]
+        if self.monitor is not None:
+            # Health-aware tie-break: equal load goes to the replica
+            # whose rolling decode p50 sits lowest against the fleet
+            # median (scores are pure functions of the seeded telemetry,
+            # so the ordering stays deterministic).
+            return sorted(pool, key=lambda r: (
+                r.scheduler.num_resident,
+                self.monitor.health_score(r.replica_id), r.replica_id))
         return sorted(pool, key=lambda r: (r.scheduler.num_resident,
                                            r.replica_id))
 
@@ -291,6 +341,10 @@ class FleetRouter:
                 replica.health = ReplicaHealth.HEALTHY
                 self._instant("fleet.replica_restart",
                               replica=replica.replica_id, round=round_idx)
+                self._record("replica_restart", replica=replica.replica_id,
+                             round=round_idx)
+                if self.monitor is not None:
+                    self.monitor.heartbeat(replica.replica_id)
         for index, fault in enumerate(self.plan.faults):
             if (index in self._armed or index in self._fired
                     or fault.step > round_idx):
@@ -314,6 +368,12 @@ class FleetRouter:
                 self._instant("fault.slow_replica",
                               replica=replica.replica_id, round=round_idx,
                               slowdown=fault.slowdown)
+                self._record("fault_injected", fault=fault.kind.value,
+                             replica=replica.replica_id, round=round_idx,
+                             slowdown=fault.slowdown)
+                self._postmortem("slow_replica",
+                                 replica=replica.replica_id,
+                                 round=round_idx, slowdown=fault.slowdown)
 
     def _crash(self, replica: Replica, fault: FaultSpec, round_idx: int,
                recovery: List[Tuple[RequestState,
@@ -336,7 +396,20 @@ class FleetRouter:
             detection_latency_s=latency, op="decode"))
         self._instant("fault.replica_crash", replica=replica.replica_id,
                       round=round_idx, permanent=fault.permanent)
+        self._record("fault_injected", fault=fault.kind.value,
+                     replica=replica.replica_id, round=round_idx,
+                     permanent=fault.permanent)
         residents = replica.scheduler.resident_requests()
+        for state, _ in residents:
+            # Detection stall attributed to the crashed replica; the
+            # re-placement wait lands on the coming migrate/recover
+            # mark.  No ``tokens`` here: first-token credit belongs to
+            # decode rounds only (keeps TTFT reconciliation exact).
+            self._mark(state.spec.request_id, "recover",
+                       replica=replica.replica_id, round_idx=round_idx)
+        self._postmortem("replica_crash", replica=replica.replica_id,
+                         round=round_idx, permanent=fault.permanent,
+                         residents=len(residents))
         recovery.extend(residents)
         replica.retire_counters()
         if fault.permanent:
@@ -379,6 +452,7 @@ class FleetRouter:
         cheaper of bit-exact migration and recompute-from-prompt."""
         request_id = state.spec.request_id
         before = replica.scheduler.clock
+        fid = self._flow()
         if swapped is not None:
             wire = self.cost.p2p_time(int(swapped.nbytes * replica.world),
                                       scope="fleet")
@@ -388,22 +462,29 @@ class FleetRouter:
             if migrate_cost <= recompute_cost:
                 with self._span("fleet.migrate", "migrate",
                                 request=request_id,
-                                replica=replica.replica_id):
+                                replica=replica.replica_id, flow_out=fid):
                     self._advance(wire, traced=True)
-                    replica.scheduler.inject(state, swapped)
+                    replica.scheduler.inject(state, swapped, flow=fid)
+                self._mark(request_id, "migrate", replica=replica.replica_id)
                 self.report.wasted_s += wire
                 self.report.migrations += 1
             else:
                 with self._span("fleet.recover", "recover",
                                 request=request_id,
-                                replica=replica.replica_id):
-                    replica.scheduler.inject(state, None)
+                                replica=replica.replica_id, flow_out=fid):
+                    replica.scheduler.inject(state, None, flow=fid)
+                self._mark(request_id, "recover", replica=replica.replica_id)
                 self.report.recomputes += 1
         else:
             with self._span("fleet.recover", "recover", request=request_id,
-                            replica=replica.replica_id):
-                replica.scheduler.inject(state, None)
+                            replica=replica.replica_id, flow_out=fid):
+                replica.scheduler.inject(state, None, flow=fid)
+            self._mark(request_id, "recover", replica=replica.replica_id)
             self.report.recomputes += 1
+        self._record("placement", request=request_id,
+                     replica=replica.replica_id,
+                     action="migrate" if swapped is not None
+                     and migrate_cost <= recompute_cost else "recover")
         self.report.wasted_s += replica.scheduler.clock - before
         self._outcomes[request_id]["replica"] = replica.replica_id
         self._outcomes[request_id]["recoveries"] = \
@@ -439,7 +520,12 @@ class FleetRouter:
             return
         offered = self._resident_tokens() + sum(
             len(e.spec.prompt) + e.spec.max_new_tokens for e in queue)
-        if not self.capacity.saturated_by(offered):
+        # Saturation is the structural trigger; a sustained multi-window
+        # TTFT burn (both the fast and slow windows above threshold) is
+        # the SLO monitor's early trigger — the budget is being spent
+        # faster than capacity math alone would predict.
+        burning = self.monitor is not None and self.monitor.ttft_burn_alert()
+        if not self.capacity.saturated_by(offered) and not burning:
             return
         lowest = max(e.tier for e in queue)
         for entry in [e for e in queue
@@ -451,6 +537,12 @@ class FleetRouter:
                             tier=entry.tier):
                 pass
             self._instant("fleet.shed", request=request_id, tier=entry.tier)
+            self._mark(request_id, "queue_wait")
+            self._mark(request_id, "shed", tier=entry.tier)
+            if self.tracker is not None:
+                self.tracker.finish(request_id, self.clock, "shed")
+            self._record("shed", request=request_id, tier=entry.tier,
+                         burn_alert=burning)
             self.report.shed += 1
             self.report.recoveries.append(RecoveryRecord(
                 step=self.report.rounds, action="shed",
@@ -464,12 +556,20 @@ class FleetRouter:
             request_id = entry.spec.request_id
             loss = self._loss_fault(round_idx)
             if loss is not None:
+                # The send went on the wire (the monitor sees an issue
+                # with no ack) and vanished; the router stalls for the
+                # watchdog window, then backs off.
+                self._mark(request_id, "queue_wait")
+                if self.monitor is not None:
+                    self.monitor.dispatch_issued(request_id, round_idx)
                 latency = self.watchdog.hang("dispatch")
                 with self._span("fleet.dispatch", "dispatch",
                                 request=request_id, lost=True):
                     self._advance(latency, traced=True)
                 delay = self._backoff(entry)
                 self.watchdog.sleep(delay)
+                self._mark(request_id, "dispatch_lost",
+                           attempt=entry.attempts)
                 self.report.wasted_s += latency + delay
                 self.report.retries += 1
                 self.report.redispatches += 1
@@ -483,18 +583,29 @@ class FleetRouter:
                     backoff_s=delay))
                 self._instant("fault.dispatch_loss", request=request_id,
                               round=round_idx)
+                self._record("fault_injected", fault=loss.kind.value,
+                             request=request_id, round=round_idx)
+                self._postmortem("dispatch_loss", request=request_id,
+                                 round=round_idx, backoff_s=delay)
                 continue
             placed = False
+            if self.monitor is not None:
+                self.monitor.dispatch_issued(request_id, round_idx)
             for replica in self._targets():
                 before = replica.scheduler.clock
+                fid = self._flow()
                 try:
                     with self._span("fleet.dispatch", "dispatch",
                                     request=request_id,
                                     replica=replica.replica_id,
-                                    attempt=entry.attempts):
-                        replica.scheduler.submit(entry.spec)
+                                    attempt=entry.attempts, flow_out=fid):
+                        replica.scheduler.submit(entry.spec, flow=fid)
                 except KVAdmissionFull:
+                    self._record("kv_admission", request=request_id,
+                                 replica=replica.replica_id, admitted=False)
                     continue
+                self._record("kv_admission", request=request_id,
+                             replica=replica.replica_id, admitted=True)
                 self.report.useful_s += replica.scheduler.clock - before
                 self.report.dispatches += 1
                 if entry.attempts:
@@ -503,8 +614,16 @@ class FleetRouter:
                 outcome["replica"] = replica.replica_id
                 outcome["admitted_s"] = self.clock
                 outcome["attempts"] = entry.attempts + 1
+                self._mark(request_id, "queue_wait")
+                self._mark(request_id, "prefill",
+                           replica=replica.replica_id)
                 placed = True
                 break
+            if self.monitor is not None:
+                # Nacks are acks: every issued dispatch that reached a
+                # replica loop is answered within the round, so only a
+                # genuinely lost send survives to the heartbeat sweep.
+                self.monitor.dispatch_delivered(request_id)
             if placed:
                 queue.remove(entry)
             else:
@@ -530,6 +649,9 @@ class FleetRouter:
             finished = replica.scheduler.step()
             expected = replica.scheduler.clock - before
             observed = expected * replica.slowdown
+            if self.monitor is not None:
+                self.monitor.observe_decode(replica.replica_id, round_idx,
+                                            expected, observed)
             self.report.useful_s += expected
             if replica.slowdown > 1.0:
                 self.report.wasted_s += observed - expected
@@ -549,14 +671,31 @@ class FleetRouter:
             if not replica.live:
                 continue
             for state, _ in replica.scheduler.resident_requests():
+                rid = state.spec.request_id
+                # Mark-at-close on the lockstep clock: the round that
+                # just ended was decode time for batch slots, preempt
+                # time for queued victims.  ``tokens`` rides along so
+                # the first token-bearing span's end *is* the TTFT
+                # instant the ledger records below.
+                self._mark(rid, "decode" if replica.scheduler.is_running(rid)
+                           else "preempt", replica=replica.replica_id,
+                           round_idx=round_idx, tokens=len(state.tokens))
                 self._note_first_token(state)
         for state in finished_now:
+            rid = state.spec.request_id
+            self._mark(rid, "decode",
+                       replica=self._outcomes[rid].get("replica", -1),
+                       round_idx=round_idx, tokens=len(state.tokens))
+            if self.tracker is not None:
+                self.tracker.finish(rid, self.clock, "completed")
             self._note_first_token(state)
-            outcome = self._outcomes[state.spec.request_id]
+            outcome = self._outcomes[rid]
             outcome["finished_s"] = self.clock
             decode_span = self.clock - outcome["first_token_s"]
             tpot = decode_span / max(1, len(state.tokens) - 1)
             self._tpot.observe(tpot)
+            if self.monitor is not None:
+                self.monitor.observe_tpot(tpot)
             outcome["tpot_s"] = tpot
             self.report.completed += 1
             self.report.tokens_generated += len(state.tokens)
@@ -568,6 +707,8 @@ class FleetRouter:
             ttft = self.clock - state.spec.arrival_s
             outcome["ttft_s"] = ttft
             self._ttft.observe(ttft)
+            if self.monitor is not None:
+                self.monitor.observe_ttft(ttft)
 
     def _flag_straggler(self, replica: Replica, round_idx: int,
                         expected: float, observed: float) -> None:
@@ -579,6 +720,9 @@ class FleetRouter:
             step=round_idx, kind=FaultKind.SLOW_REPLICA.value,
             rank=replica.replica_id, error="", detected=True,
             detection_latency_s=observed, op="decode"))
+        self._record("straggler_flagged", replica=replica.replica_id,
+                     round=round_idx,
+                     ratio=observed / max(expected, 1e-30))
         drained = 0
         before = replica.scheduler.clock
         for state, _ in list(replica.scheduler.resident_requests()):
@@ -604,6 +748,13 @@ class FleetRouter:
         self._outcomes = {
             spec.request_id: {"tier": self._tier(spec)} for spec in specs}
         self.report.requests = len(specs)
+        if self.tracker is not None:
+            for spec in pending:
+                self.tracker.begin(spec.request_id, spec.index,
+                                   spec.arrival_s)
+        if self.monitor is not None:
+            self.monitor.start_run(
+                [r.replica_id for r in self.replicas if r.live])
         round_idx = 0
         while True:
             if round_idx > self.max_rounds:
@@ -624,10 +775,12 @@ class FleetRouter:
                 if pending:
                     waits.append(pending[0].arrival_s)
                 if not queue and not recovery and not pending:
+                    self._end_round(round_idx)
                     break
                 future = [w for w in waits if w > self.clock]
                 if future:
                     self._advance(min(future) - self.clock)
+                    self._end_round(round_idx)
                     round_idx += 1
                     continue
                 if not any(r.dispatchable for r in self.replicas):
@@ -638,6 +791,7 @@ class FleetRouter:
                     "fleet deadlock: requests remain but none fit any "
                     "replica's KV pool; raise num_blocks")
             self._decode_round(round_idx)
+            self._end_round(round_idx)
             round_idx += 1
         return self._finalize(specs)
 
@@ -690,7 +844,8 @@ def build_fleet(config: ModelConfig, num_replicas: int, *,
                 tracer: Optional[Tracer] = None, num_tiers: int = 1,
                 slo_ttft_s: Optional[float] = None,
                 watchdog: Optional[Watchdog] = None,
-                max_rounds: int = 100_000) -> FleetRouter:
+                max_rounds: int = 100_000, monitor=None, recorder=None,
+                request_tracker=None) -> FleetRouter:
     """A homogeneous fleet over one shared set of model weights.
 
     The serial reference weights are built once (``model_seed``) and
@@ -717,4 +872,6 @@ def build_fleet(config: ModelConfig, num_replicas: int, *,
     ]
     return FleetRouter(replicas, plan=plan, watchdog=watchdog,
                        tracer=tracer, seed=seed, num_tiers=num_tiers,
-                       slo_ttft_s=slo_ttft_s, max_rounds=max_rounds)
+                       slo_ttft_s=slo_ttft_s, max_rounds=max_rounds,
+                       monitor=monitor, recorder=recorder,
+                       request_tracker=request_tracker)

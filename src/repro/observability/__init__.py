@@ -13,6 +13,19 @@ reproducible:
   trace exporter (one pid per subsystem, one tid per rank, counter
   tracks for activation bytes) plus the schema validator.
 
+The serving fleet adds a request-level telemetry layer:
+
+* :mod:`~repro.observability.request_trace` — per-request causal span
+  graphs (queue-wait / dispatch / prefill / decode / preempt / migrate /
+  recover / shed) on the router clock, with an exact zero-gap
+  zero-overlap partition invariant and TTFT/TPOT reconciliation against
+  the :class:`~repro.fleet.FleetReport` ledger;
+* :mod:`~repro.observability.monitor` — the always-on
+  :class:`FlightRecorder` ring buffer (postmortem dumps on faults and
+  watchdog trips) and the :class:`SLOMonitor` (multi-window burn rates,
+  per-replica health scores, crash/straggler/dispatch-loss detections
+  gated at exact precision/recall = 1.0 against the injected plan).
+
 Two offline consumers sit on top:
 
 * :mod:`~repro.observability.analysis` — critical-path time attribution,
@@ -44,6 +57,7 @@ from .analysis import (
     utilization_crosscheck,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .monitor import Detection, FlightRecorder, SLOMonitor
 from .perfetto import (
     export_trace,
     merged_trace,
@@ -59,6 +73,15 @@ from .regress import (
     run_preset,
     write_bench,
 )
+from .request_trace import (
+    RequestSpan,
+    RequestTrace,
+    RequestTracker,
+    partition_error,
+    reconcile_quantiles,
+    trace_latencies,
+    verify_partition,
+)
 from .serialize import dump_json, dumps_json, to_jsonable
 from .tracer import (
     InstantEvent,
@@ -71,14 +94,17 @@ from .tracer import (
 )
 
 __all__ = [
-    "Attribution", "Counter", "CriticalPath", "Gauge", "Histogram",
-    "InstantEvent", "MemoryTermDrift", "MetricsRegistry", "RankAttribution",
-    "Regression", "SpanEvent", "TraceData", "Tracer",
-    "UtilizationCrosscheck", "active_tracer", "attribute",
+    "Attribution", "Counter", "CriticalPath", "Detection", "FlightRecorder",
+    "Gauge", "Histogram", "InstantEvent", "MemoryTermDrift",
+    "MetricsRegistry", "RankAttribution", "Regression", "RequestSpan",
+    "RequestTrace", "RequestTracker", "SLOMonitor", "SpanEvent", "TraceData",
+    "Tracer", "UtilizationCrosscheck", "active_tracer", "attribute",
     "check_against_baselines", "compare", "dump_json", "dumps_json",
     "export_trace", "from_chrome_events", "from_tracer", "install_tracer",
     "load_trace", "memory_drift_report", "memory_term_drift", "merged_trace",
-    "rehome_events", "run_preset", "schedule_critical_path", "span_or_null",
-    "to_jsonable", "trace_scope", "tracer_events", "utilization_crosscheck",
-    "validate_trace_events", "validate_trace_file", "write_bench",
+    "partition_error", "reconcile_quantiles", "rehome_events", "run_preset",
+    "schedule_critical_path", "span_or_null", "to_jsonable",
+    "trace_latencies", "trace_scope", "tracer_events",
+    "utilization_crosscheck", "validate_trace_events", "validate_trace_file",
+    "verify_partition", "write_bench",
 ]

@@ -9,8 +9,12 @@ paper's closed-form models:
   stated in: ``forward`` / ``backward`` / ``recompute`` /
   ``exposed_comm`` / ``overlapped_comm`` (the ``overlapped=True``
   markers from :mod:`repro.parallel.mappings`) / ``recovery_stall`` /
-  ``other`` / ``pipeline_bubble``.  Buckets partition ``[0, wall]``
-  exactly, so they sum to the wall time by construction.
+  ``serving`` (replica prefill/decode/preempt/resume work) / ``fleet``
+  (router-era dispatch/migrate/recover/shed actions) / ``other`` /
+  ``pipeline_bubble``.  Buckets partition ``[0, wall]`` exactly, so
+  they sum to the wall time by construction — including under
+  ``chaos_serve`` fleet traces, whose router/replica spans land in the
+  two serving-era buckets instead of inflating the bubble.
 * **Utilization cross-check** — MFU/HFU derived from traced GEMM FLOPs
   and the measured wall time, reconciled against
   :func:`repro.perf_model.measured_utilization` (the same formulas
@@ -40,27 +44,37 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import ExperimentConfig
 from ..layers.transformer import Recompute
-from .perfetto import SUBSYSTEM_PIDS, TIME_SCALE
+from .perfetto import REPLICA_PID_BASE, SUBSYSTEM_PIDS, TIME_SCALE
 from .tracer import Tracer
 
 #: Attribution buckets, in report order.  They partition the analysis
 #: window: per rank the bucket times sum to the wall time exactly.
 BUCKETS = (
     "forward", "backward", "recompute", "exposed_comm", "overlapped_comm",
-    "recovery_stall", "other", "pipeline_bubble",
+    "recovery_stall", "serving", "fleet", "other", "pipeline_bubble",
 )
 
 #: Sweep priorities (lower wins) when intervals nest or overlap: a
 #: recovery stall dominates everything it covers, a priced comm or
 #: compute span beats the surrounding scheduler span, a ``recompute[...]``
 #: region claims its un-spanned elementwise time before the enclosing
-#: backward does.
+#: backward does.  Replica-side serving spans beat the fleet-router
+#: wrappers that enclose them (a ``serve.resume`` nested inside a
+#: ``fleet.migrate`` is replica work; only the router-only residue —
+#: wire transfers, detection stalls — stays in the ``fleet`` bucket).
 _PRIORITY_STALL = 0
 _PRIORITY_COMM = 1
 _PRIORITY_COMPUTE = 2
 _PRIORITY_RECOMPUTE_REGION = 3
 _PRIORITY_TRAIN_LEAF = 4
 _PRIORITY_TRAIN_OTHER = 5
+_PRIORITY_SERVE_LEAF = 6
+_PRIORITY_FLEET = 7
+
+#: Telemetry *view* tracks: per-request and monitor spans re-present
+#: time that replica/router spans already account for, so the analysis
+#: (like the offline loader's memory/pipeline skip) never buckets them.
+_VIEW_SUBSYSTEMS = frozenset({"request", "monitor"})
 
 _PIPE_SPAN = re.compile(r"^(forward|backward) mb(\d+) g(\d+)$")
 
@@ -102,11 +116,13 @@ class TraceData:
 
 
 def from_tracer(tracer: Tracer) -> TraceData:
-    """Normalize a live tracer's event stream."""
+    """Normalize a live tracer's event stream (view tracks dropped)."""
     spans = tuple(TraceSpan(s.name, s.subsystem, s.rank, s.ts, s.dur,
-                            dict(s.args)) for s in tracer.spans)
+                            dict(s.args)) for s in tracer.spans
+                  if s.subsystem not in _VIEW_SUBSYSTEMS)
     instants = tuple(TraceInstant(i.name, i.subsystem, i.rank, i.ts,
-                                  dict(i.args)) for i in tracer.instants)
+                                  dict(i.args)) for i in tracer.instants
+                     if i.subsystem not in _VIEW_SUBSYSTEMS)
     return TraceData(spans=spans, instants=instants, wall=tracer.clock_s)
 
 
@@ -115,17 +131,23 @@ def from_chrome_events(events: Sequence[dict],
     """Normalize exported Chrome/Perfetto events (the offline path).
 
     Only tracer-produced subsystems are kept — the re-homed analytic
-    pipeline-schedule track and the memory counter track are views, not
-    timed work on the simulated clock.
+    pipeline-schedule track, the memory counter track and the telemetry
+    view tracks (``request``/``monitor``) are views, not timed work on
+    the simulated clock.  Replica pids (``REPLICA_PID_BASE + N``) map
+    back to their ``replica<N>`` subsystems so fleet traces round-trip.
     """
     pid_to_subsystem = {pid: name for name, pid in SUBSYSTEM_PIDS.items()}
-    skip = {"memory", "pipeline"}
+    skip = {"memory", "pipeline"} | set(_VIEW_SUBSYSTEMS)
     spans: List[TraceSpan] = []
     instants: List[TraceInstant] = []
     wall = 0.0
     for event in events:
         ph = event.get("ph")
-        subsystem = pid_to_subsystem.get(event.get("pid"))
+        pid = event.get("pid")
+        subsystem = pid_to_subsystem.get(pid)
+        if subsystem is None and isinstance(pid, int) \
+                and REPLICA_PID_BASE <= pid < 100:
+            subsystem = f"replica{pid - REPLICA_PID_BASE}"
         if subsystem is None or subsystem in skip:
             continue
         if ph == "X":
@@ -219,6 +241,13 @@ def _bucket_intervals(data: TraceData, rank: int) -> List[tuple]:
                 # step / grad_sync / optimizer.step / train_step wrappers
                 intervals.append((span.ts, span.ts + span.dur,
                                   _PRIORITY_TRAIN_OTHER, "other"))
+        elif span.subsystem == "fleet":
+            intervals.append((span.ts, span.ts + span.dur,
+                              _PRIORITY_FLEET, "fleet"))
+        elif span.subsystem == "serving" \
+                or span.subsystem.startswith("replica"):
+            intervals.append((span.ts, span.ts + span.dur,
+                              _PRIORITY_SERVE_LEAF, "serving"))
     for inst in data.instants:
         if inst.rank != rank or inst.subsystem != "resilience":
             continue
@@ -267,7 +296,8 @@ def attribute(data: TraceData, wall: Optional[float] = None) -> Attribution:
     markers) > compute spans (split by phase, which already accounts
     recomputation) > ``recompute[...]`` regions > forward/backward
     scheduler spans (their residual is un-spanned elementwise time) >
-    other train spans; uncovered time is the pipeline bubble (idle).
+    other train spans > replica serving spans > fleet router spans;
+    uncovered time is the pipeline bubble (idle).
     """
     w = data.wall if wall is None else wall
     ranks = []

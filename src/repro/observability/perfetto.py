@@ -30,7 +30,10 @@ from typing import Dict, Iterable, List, Optional
 from .serialize import to_jsonable
 from .tracer import Tracer
 
-#: Canonical subsystem -> pid assignment (stable across runs).
+#: Canonical subsystem -> pid assignment (stable across runs).  The
+#: telemetry view tracks (``request``: one thread per request index;
+#: ``monitor``: SLO-monitor detections) live far past the replica block
+#: so arbitrarily large fleets never collide with them.
 SUBSYSTEM_PIDS: Dict[str, int] = {
     "train": 1,
     "compute": 2,
@@ -41,6 +44,8 @@ SUBSYSTEM_PIDS: Dict[str, int] = {
     "pipeline": 7,
     "serving": 8,
     "fleet": 9,
+    "request": 900,
+    "monitor": 901,
 }
 
 #: Serving replicas get their own Perfetto processes: subsystem
@@ -113,7 +118,8 @@ def tracer_events(tracer: Tracer, time_scale: float = TIME_SCALE) -> List[dict]:
             })
 
     for subsystem, tids in sorted(tids_by_subsystem.items()):
-        out.extend(_metadata(_pid_for(subsystem), subsystem, tids))
+        prefix = "request" if subsystem == "request" else "rank"
+        out.extend(_metadata(_pid_for(subsystem), subsystem, tids, prefix))
     if have_memory:
         out.extend(_metadata(memory_pid, "memory", [0], "counters"))
     return out
@@ -185,6 +191,7 @@ SPAN_PHASES = frozenset({
     "forward", "backward", "recompute",            # ExecutionPhase values
     "prefill", "decode", "preempt", "resume",      # serving lifecycle
     "dispatch", "migrate", "recover", "shed",      # fleet router actions
+    "request", "monitor",                          # telemetry view tracks
 })
 
 
@@ -198,10 +205,19 @@ def validate_trace_events(events: List[dict]) -> None:
     ``(pid, tid)`` track, every pid that emits events also carries
     ``process_name`` metadata, and any ``args["phase"]`` tag on a span
     is a known training or serving phase (:data:`SPAN_PHASES`).
+
+    Cross-track **flow events** are checked structurally: a span may
+    carry ``args["flow_out"]`` (the producing side of a causal link,
+    e.g. a router dispatch) and/or ``args["flow_in"]`` (the consuming
+    side, e.g. the replica admission it caused).  Flow ids must be
+    non-negative integers and every id must appear on *both* sides —
+    a dangling id means a cross-replica link was cut mid-emission.
     """
     last_ts: Dict[tuple, float] = {}
     named_pids = set()
     used_pids = set()
+    flow_out: set = set()
+    flow_in: set = set()
     for event in events:
         ph = event.get("ph")
         if ph is None:
@@ -230,6 +246,15 @@ def validate_trace_events(events: List[dict]) -> None:
             tag = event.get("args", {}).get("phase")
             if tag is not None and tag not in SPAN_PHASES:
                 raise ValueError(f"unknown span phase tag {tag!r}: {event!r}")
+            for side, seen in (("flow_out", flow_out), ("flow_in", flow_in)):
+                flow = event.get("args", {}).get(side)
+                if flow is None:
+                    continue
+                if not isinstance(flow, int) or isinstance(flow, bool) \
+                        or flow < 0:
+                    raise ValueError(
+                        f"bad {side} id {flow!r} (want int >= 0): {event!r}")
+                seen.add(flow)
         if ph in ("X", "i", "I"):
             track = (event["pid"], event["tid"])
             if event["ts"] < last_ts.get(track, 0.0):
@@ -239,6 +264,10 @@ def validate_trace_events(events: List[dict]) -> None:
     unnamed = used_pids - named_pids
     if unnamed:
         raise ValueError(f"pids without process_name metadata: {sorted(unnamed)}")
+    dangling = (flow_out - flow_in) | (flow_in - flow_out)
+    if dangling:
+        raise ValueError(
+            f"dangling flow ids (seen on only one side): {sorted(dangling)}")
 
 
 def validate_trace_file(path: str) -> int:

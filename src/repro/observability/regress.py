@@ -3,8 +3,9 @@
 ``repro bench`` runs the deterministic trace presets (``tiny`` and
 ``small`` pipelined runs, ``chaos``, a fault-injected data-parallel
 segment, ``substrate``, the fused-operator engine, ``serve``, the
-continuous-batching scheduler, and ``chaos_serve``, the fault-injected
-serving fleet), pushes each trace through
+continuous-batching scheduler, ``chaos_serve``, the fault-injected
+serving fleet, and ``fleet_obs``, the same fleet with the full request
+telemetry stack attached), pushes each trace through
 :mod:`repro.observability.analysis`,
 and writes one canonical ``BENCH_<preset>.json`` per preset: the
 attribution breakdown, MFU/HFU with their model deltas, peak memory,
@@ -37,7 +38,7 @@ from .serialize import dumps_json, to_jsonable
 SCHEMA_VERSION = 1
 
 PRESET_NAMES = ("tiny", "small", "chaos", "substrate", "serve",
-                "chaos_serve")
+                "chaos_serve", "fleet_obs")
 
 DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
 
@@ -94,6 +95,12 @@ TOLERANCES: Tuple[Tuple[str, Tuple[str, float]], ...] = (
     # fleet trace hash — rides the simulated clock and is exact.
     ("fleet.goodput", ("floor", 0.85)),
     ("fleet.", ("exact", 0)),
+    # The fleet-telemetry gate: detection precision/recall against the
+    # injected plan, the request-span partition invariant, TTFT/TPOT
+    # reconciliation and the postmortem/request-trace fingerprints all
+    # ride the simulated clock and must be exactly reproducible —
+    # precision/recall at literally 1.0, gap/overlap at literally 0.0.
+    ("telemetry.", ("exact", 0)),
     ("wall_time_s", ("rel", 0.05)),
     ("iteration_time_s", ("rel", 0.05)),
     ("", ("rel", 0.02)),  # default
@@ -634,6 +641,140 @@ def _run_chaos_serve_preset(seed_value: int, steps: int) -> dict:
     return doc
 
 
+def _run_fleet_obs_preset(seed_value: int, steps: int) -> dict:
+    """The ``chaos_serve`` fleet with the full request-telemetry stack
+    attached: distributed request tracing, the flight recorder and the
+    SLO burn-rate monitor.
+
+    Gated quantities (all exact — every one is a pure function of the
+    seed and the plan): monitor detection precision *and* recall
+    against the injected fault plan at literally 1.0; the request-span
+    partition invariant at literally 0.0 gap / 0.0 overlap with zero
+    open requests; TTFT/TPOT quantiles recomputed from the span graphs
+    alone matching the :class:`~repro.fleet.FleetReport` ledger bit for
+    bit; SHA-256 fingerprints of the postmortem dump and the request
+    trace export (byte-identity at equal seeds); and the merged trace
+    hash with the request/monitor view tracks and cross-process flow
+    events included.  Wall-clock telemetry cost is recorded under
+    ``timing.`` (ignored — machine-specific); the <5% disabled-overhead
+    bound is asserted by ``benchmarks/bench_fleet_telemetry.py``.
+    """
+    import time
+
+    from ..config import ModelConfig
+    from ..fleet import build_fleet
+    from ..resilience import FaultKind, FaultPlan, FaultSpec
+    from ..serving import generate_requests
+    from .monitor import FlightRecorder, SLOMonitor
+    from .request_trace import (RequestTracker, reconcile_quantiles,
+                                verify_partition)
+    from .tracer import Tracer
+
+    # Same fleet shape and fault plan as ``chaos_serve`` so the two
+    # documents describe the same physics, with and without telemetry.
+    model_cfg = ModelConfig(name="fleet-obs", num_layers=2, hidden_size=64,
+                            num_heads=4, seq_length=48, vocab_size=32)
+    num_replicas, block_size, num_blocks, max_batch = 3, 4, 16, 4
+    specs = generate_requests(model_cfg, num_requests=24, seed=seed_value,
+                              arrival_rate=5000.0, prompt_lengths=(1, 3),
+                              new_tokens=(8, 48))
+    plan = FaultPlan([
+        FaultSpec(step=10, kind=FaultKind.REPLICA_CRASH, rank=1,
+                  permanent=True),
+        FaultSpec(step=18, kind=FaultKind.SLOW_REPLICA, rank=2,
+                  slowdown=6.0),
+        FaultSpec(step=2, kind=FaultKind.DISPATCH_LOSS),
+    ])
+
+    def _build(telemetry: bool, tracer=None):
+        recorder = FlightRecorder(capacity=64) if telemetry else None
+        tracker = RequestTracker(tracer=tracer) if telemetry else None
+        monitor = SLOMonitor(slo_ttft_s=0.05, slo_tpot_s=0.005,
+                             recorder=recorder,
+                             tracer=tracer) if telemetry else None
+        fleet = build_fleet(model_cfg, num_replicas, block_size=block_size,
+                            num_blocks=num_blocks, max_batch=max_batch,
+                            seed=seed_value, plan=plan, tracer=tracer,
+                            monitor=monitor, recorder=recorder,
+                            request_tracker=tracker)
+        return fleet, monitor, recorder, tracker
+
+    tracer = Tracer()
+    fleet, monitor, recorder, tracker = _build(True, tracer=tracer)
+    report = fleet.run(specs)
+
+    score = monitor.score_against(report)
+    partition = verify_partition(tracker)
+    reconciled = reconcile_quantiles(tracker, report)
+    postmortem_sha = hashlib.sha256(recorder.dumps().encode()).hexdigest()
+    request_trace_sha = hashlib.sha256(
+        tracker.to_json().encode()).hexdigest()
+
+    # Wall-clock cost of the telemetry stack, best-of-N interleaved so a
+    # host load spike hits both arms alike.  Recorded, not gated here.
+    reps = max(3, steps)
+    best = {False: float("inf"), True: float("inf")}
+    for _ in range(reps):
+        for telemetry in (False, True):
+            timed_fleet, _, _, _ = _build(telemetry)
+            start = time.perf_counter()
+            timed_fleet.run(specs)
+            best[telemetry] = min(best[telemetry],
+                                  time.perf_counter() - start)
+
+    doc = _base_doc("fleet_obs", seed_value, steps, model_cfg, 1, 1)
+    doc["config"]["num_replicas"] = num_replicas
+    doc["config"]["block_size"] = block_size
+    doc["config"]["num_blocks"] = num_blocks
+    doc["config"]["max_batch"] = max_batch
+    doc["fleet"] = {
+        "goodput": report.goodput(),
+        "completed": report.completed,
+        "shed": report.shed,
+        "rounds": report.rounds,
+        "faults": len(report.faults),
+    }
+    doc["telemetry"] = {
+        "detection_precision": score["precision"],
+        "detection_recall": score["recall"],
+        "injected_faults": score["injected"],
+        "detections": score["detections"],
+        "missed": score["missed"],
+        "spurious": score["spurious"],
+        "partition_max_gap_s": partition["max_gap_s"],
+        "partition_max_overlap_s": partition["max_overlap_s"],
+        "partition_open_requests": partition["open_requests"],
+        "partition_exact": partition["exact"],
+        "ttft_reconciled": reconciled["ttft_match"],
+        "tpot_reconciled": reconciled["tpot_match"],
+        "reconciled_requests": reconciled["completed"],
+        "flight_events_recorded": recorder.recorded,
+        "postmortems": len(recorder.postmortems),
+        "postmortem_sha256": postmortem_sha,
+        "request_trace_sha256": request_trace_sha,
+        "ttft_burn_long": monitor.ttft_burn(),
+        "tpot_burn_long": monitor.tpot_burn(),
+        "health_scores": monitor.snapshot()["health_scores"],
+    }
+    doc["timing"] = {
+        "telemetry_disabled_s": best[False],
+        "telemetry_enabled_s": best[True],
+        "telemetry_cost": best[True] / best[False] - 1.0,
+    }
+    doc["counts"] = {
+        "spans": len(tracer.spans),
+        "instants": len(tracer.instants),
+        "request_spans": sum(1 for s in tracer.spans
+                             if s.subsystem == "request"),
+        "monitor_instants": sum(1 for i in tracer.instants
+                                if i.subsystem == "monitor"),
+        "flow_links": sum(1 for s in tracer.spans
+                          if "flow_out" in s.args),
+    }
+    doc["trace_hash"] = trace_hash(tracer)
+    return doc
+
+
 def _base_doc(preset: str, seed_value: int, steps: int, model_cfg,
               tp: int, pp: int) -> dict:
     return {
@@ -668,6 +809,8 @@ def run_preset(preset: str, seed_value: int = 1234, steps: int = 2) -> dict:
         return _run_serve_preset(seed_value, steps)
     if preset == "chaos_serve":
         return _run_chaos_serve_preset(seed_value, steps)
+    if preset == "fleet_obs":
+        return _run_fleet_obs_preset(seed_value, steps)
     if preset not in TRACE_PRESETS:
         raise ValueError(f"unknown preset {preset!r}; "
                          f"expected one of {PRESET_NAMES}")

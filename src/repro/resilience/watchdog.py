@@ -22,7 +22,7 @@ same units as the paper's iteration times:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from ..comm.cost_model import CollectiveCostModel
 from ..errors import CollectiveTimeout
@@ -40,6 +40,10 @@ class Watchdog:
     straggler_threshold: float = 4.0
     #: Accumulated simulated seconds across everything observed.
     clock_s: float = 0.0
+    #: Optional :class:`~repro.observability.FlightRecorder`: every trip
+    #: (``hang``) lands in the ring buffer.  Duck-typed so the
+    #: resilience layer does not import the observability package.
+    recorder: Optional[object] = None
 
     def expected_time(self, op: str, nbytes: int, world: int,
                       scope: str = "tp") -> float:
@@ -71,6 +75,9 @@ class Watchdog:
         timeout, which is the detection latency.  Returns ``timeout_s``;
         the caller raises the appropriate typed error."""
         self.clock_s += self.timeout_s
+        if self.recorder is not None:
+            self.recorder.record("watchdog_trip", self.clock_s, op=op,
+                                 timeout_s=self.timeout_s)
         return self.timeout_s
 
     def sleep(self, seconds: float) -> None:

@@ -161,7 +161,7 @@ class ContinuousBatchingScheduler:
                  policy: str = "swap", max_batch: int = 8, seed: int = 0,
                  strategy: str = "greedy", top_k: int = 10,
                  temperature: float = 1.0, tracer: Optional[Tracer] = None,
-                 subsystem: str = "serving"):
+                 subsystem: str = "serving", request_tracker=None):
         if policy not in POLICIES:
             raise ConfigError(f"unknown preemption policy {policy!r}")
         if max_batch < 1:
@@ -176,6 +176,10 @@ class ContinuousBatchingScheduler:
         self.top_k = top_k
         self.temperature = temperature
         self.tracer = tracer
+        # Optional per-request span tracking for the closed-loop ``run``
+        # path (a fleet router tracks requests on its own clock instead
+        # and leaves this unset on replica schedulers).
+        self.request_tracker = request_tracker
         self.clock = 0.0
         self.preemptions = 0
         self.resumes = 0
@@ -207,12 +211,20 @@ class ContinuousBatchingScheduler:
         self._order += 1
         return self._order
 
+    def _mark(self, request_id: str, phase: str, **kw) -> None:
+        if self.request_tracker is not None:
+            self.request_tracker.mark(request_id, phase, self.clock, **kw)
+
     # -- scheduling steps --------------------------------------------------
-    def _admit(self, spec: RequestSpec) -> None:
-        with self._span("serve.prefill", "prefill", request=spec.request_id,
-                        tokens=len(spec.prompt)):
+    def _admit(self, spec: RequestSpec, flow: Optional[int] = None) -> None:
+        self._mark(spec.request_id, "queue_wait")
+        args = {"request": spec.request_id, "tokens": len(spec.prompt)}
+        if flow is not None:
+            args["flow_in"] = flow
+        with self._span("serve.prefill", "prefill", **args):
             logits = self.engine.prefill(spec.request_id, spec.prompt)
             self._advance(self.perf.prefill_time(len(spec.prompt)))
+        self._mark(spec.request_id, "prefill")
         self._running[spec.request_id] = _Running(
             spec=spec, rng=np.random.default_rng((self.seed, spec.index)),
             logits=logits, order=self._next_order(), admitted_s=self.clock)
@@ -238,6 +250,7 @@ class ContinuousBatchingScheduler:
                 self.engine.finish(request_id)
         del self._running[request_id]
         self._preempted.append((state, swapped))
+        self._mark(request_id, "preempt", tokens=len(state.tokens))
         self._event("preempt", request=request_id, policy=self.policy)
 
     def _resume_preempted(self) -> None:
@@ -263,12 +276,16 @@ class ContinuousBatchingScheduler:
             state.order = self._next_order()
             self._running[spec.request_id] = state
             self.resumes += 1
+            self._mark(spec.request_id, "preempt", tokens=len(state.tokens))
             self._event("resume", request=spec.request_id, policy=self.policy)
 
     def _finish(self, state: _Running) -> None:
         self.engine.finish(state.spec.request_id)
         self._finished.append(state)
         self._finish_times[state.spec.request_id] = self.clock
+        if self.request_tracker is not None:
+            self.request_tracker.finish(state.spec.request_id, self.clock,
+                                        "completed")
         self._event("finish", request=state.spec.request_id,
                     tokens=len(state.tokens))
 
@@ -293,6 +310,8 @@ class ContinuousBatchingScheduler:
             state.tokens.append(tokens[j])
             state.logits = logits[j]
             state.token_latencies.append(step)
+            self._mark(state.spec.request_id, "decode",
+                       tokens=len(state.tokens))
             done = (len(state.tokens) >= state.spec.max_new_tokens
                     or self.engine.context_length(state.spec.request_id)
                     >= self.engine.max_context)
@@ -307,25 +326,36 @@ class ContinuousBatchingScheduler:
     # span / clock machinery above, so a request decoded through the
     # hooks samples the same tokens as one decoded by ``run``.
 
-    def submit(self, spec: RequestSpec) -> None:
+    def submit(self, spec: RequestSpec, flow: Optional[int] = None) -> None:
         """Admit one externally-dispatched request, or raise
         :class:`KVAdmissionFull` (retryable on another replica).
 
         Refuses while preempted work is queued: resumed requests hold
         FCFS priority over new admissions, exactly as in ``run``.
+
+        ``flow`` is the router-allocated Perfetto flow id linking this
+        admission back to the dispatch span that caused it.  A refusal
+        still answers the dispatch — it emits a zero-duration
+        ``serve.reject`` span consuming the same flow id, so the
+        router->replica link is never left dangling.
         """
+        reason = None
         if self._preempted:
-            raise KVAdmissionFull(
-                f"replica has preempted work queued ahead of "
-                f"{spec.request_id!r}")
-        if len(self._running) >= self.max_batch:
-            raise KVAdmissionFull(
-                f"batch is full ({self.max_batch}); cannot admit "
-                f"{spec.request_id!r}")
-        if not self.engine.cache.can_admit(len(spec.prompt) + 1):
-            raise KVAdmissionFull(
-                f"KV pool too full to admit {spec.request_id!r}")
-        self._admit(spec)
+            reason = (f"replica has preempted work queued ahead of "
+                      f"{spec.request_id!r}")
+        elif len(self._running) >= self.max_batch:
+            reason = (f"batch is full ({self.max_batch}); cannot admit "
+                      f"{spec.request_id!r}")
+        elif not self.engine.cache.can_admit(len(spec.prompt) + 1):
+            reason = f"KV pool too full to admit {spec.request_id!r}"
+        if reason is not None:
+            args = {"request": spec.request_id}
+            if flow is not None:
+                args["flow_in"] = flow
+            with self._span("serve.reject", "prefill", **args):
+                pass
+            raise KVAdmissionFull(reason)
+        self._admit(spec, flow=flow)
 
     def step(self) -> List[RequestState]:
         """Advance every resident request one decode round; returns the
@@ -374,10 +404,13 @@ class ContinuousBatchingScheduler:
                 and self.engine.cache.can_admit(state.resident_tokens + 1))
 
     def inject(self, state: RequestState,
-               swapped: Optional[SwappedKV] = None) -> None:
+               swapped: Optional[SwappedKV] = None,
+               flow: Optional[int] = None) -> None:
         """Resume a migrated request here: bit-exact swap-in of its host
         KV pages, or recompute-from-prompt replay when ``swapped`` is
-        None.  Raises :class:`KVAdmissionFull` if it does not fit."""
+        None.  Raises :class:`KVAdmissionFull` if it does not fit.
+        ``flow`` links the resume span back to the router's migrate /
+        recover span, exactly as in :meth:`submit`."""
         spec = state.spec
         if len(self._running) >= self.max_batch:
             raise KVAdmissionFull(
@@ -386,9 +419,11 @@ class ContinuousBatchingScheduler:
         if not self.engine.cache.can_admit(state.resident_tokens + 1):
             raise KVAdmissionFull(
                 f"KV pool too full to inject {spec.request_id!r}")
-        with self._span("serve.resume", "resume", request=spec.request_id,
-                        policy="swap" if swapped is not None
-                        else "recompute"):
+        args = {"request": spec.request_id,
+                "policy": "swap" if swapped is not None else "recompute"}
+        if flow is not None:
+            args["flow_in"] = flow
+        with self._span("serve.resume", "resume", **args):
             if swapped is not None:
                 self.engine.swap_in(swapped)
                 self._advance(self.perf.swap_time(swapped.nbytes
@@ -402,6 +437,11 @@ class ContinuousBatchingScheduler:
         self._running[spec.request_id] = state
         self.resumes += 1
         self._event("inject", request=spec.request_id)
+
+    def is_running(self, request_id: str) -> bool:
+        """True while the request occupies a slot in the decode batch
+        (as opposed to sitting in the preempted queue)."""
+        return request_id in self._running
 
     def resident_requests(self) -> List[Tuple[RequestState,
                                               Optional[SwappedKV]]]:
@@ -419,6 +459,10 @@ class ContinuousBatchingScheduler:
     def run(self, specs: Sequence[RequestSpec]) -> ServeReport:
         pending: Deque[RequestSpec] = deque(
             sorted(specs, key=lambda s: (s.arrival_s, s.index)))
+        if self.request_tracker is not None:
+            for spec in pending:
+                self.request_tracker.begin(spec.request_id, spec.index,
+                                           spec.arrival_s)
         waiting: Deque[RequestSpec] = deque()
         while pending or waiting or self._preempted or self._running:
             while pending and pending[0].arrival_s <= self.clock:

@@ -312,3 +312,81 @@ class TestBenchCLI:
         wall = doc["wall_time_s"]
         for buckets in doc["per_rank"].values():
             assert sum(buckets.values()) == pytest.approx(wall, rel=1e-9)
+
+
+class TestFleetAttribution:
+    """Fleet-era spans land in the serving/fleet buckets and the
+    request/monitor *view* tracks never double-count wall time."""
+
+    @staticmethod
+    def _fleet_tracer(with_views):
+        from repro.fleet import build_fleet
+        from repro.observability import RequestTracker, SLOMonitor, Tracer
+        from repro.resilience import FaultKind, FaultPlan, FaultSpec
+        from repro.serving import generate_requests
+
+        cfg = ModelConfig(num_layers=2, hidden_size=32, num_heads=4,
+                          seq_length=24, vocab_size=16, name="att-fleet")
+        tracer = Tracer()
+        tracker = RequestTracker(tracer=tracer) if with_views else None
+        monitor = SLOMonitor(slo_ttft_s=0.05, tracer=tracer) \
+            if with_views else None
+        fleet = build_fleet(cfg, 3, block_size=2, num_blocks=10, max_batch=3,
+                            seed=3, tracer=tracer, request_tracker=tracker,
+                            monitor=monitor,
+                            plan=FaultPlan([
+                                FaultSpec(step=4, kind=FaultKind.REPLICA_CRASH,
+                                          rank=1),
+                                FaultSpec(step=1,
+                                          kind=FaultKind.DISPATCH_LOSS),
+                            ]))
+        specs = generate_requests(cfg, num_requests=6, seed=3,
+                                  arrival_rate=5000.0, prompt_lengths=(1, 3),
+                                  new_tokens=(2, 8))
+        fleet.run(specs)
+        return tracer
+
+    def test_serving_and_fleet_buckets_populated(self):
+        att = attribute(from_tracer(self._fleet_tracer(with_views=False)))
+        assert "serving" in BUCKETS and "fleet" in BUCKETS
+        assert att.totals["serving"] > 0
+        assert att.totals["fleet"] > 0
+
+    def test_coverage_exact_under_chaos(self):
+        att = attribute(from_tracer(self._fleet_tracer(with_views=False)))
+        for rank_att in att.ranks:
+            assert sum(rank_att.buckets.values()) == \
+                pytest.approx(rank_att.wall, rel=1e-9)
+        assert att.coverage_error < 1e-9
+
+    def test_view_subsystems_never_change_attribution(self):
+        """Request spans mirror replica time on their own tracks; the
+        analyzer must exclude them or every second counts twice."""
+        bare = attribute(from_tracer(self._fleet_tracer(with_views=False)))
+        full = attribute(from_tracer(self._fleet_tracer(with_views=True)))
+        assert full.wall == bare.wall
+        assert full.totals == bare.totals
+
+    def test_offline_load_also_excludes_view_tracks(self, tmp_path):
+        tracer = self._fleet_tracer(with_views=True)
+        live = attribute(from_tracer(tracer))
+        path = tmp_path / "trace.json"
+        export_trace(tracer, str(path))
+        offline = attribute(load_trace(str(path)))
+        assert offline.wall == pytest.approx(live.wall, rel=1e-9)
+        assert set(offline.totals) == set(BUCKETS)
+        for bucket in BUCKETS:
+            assert offline.totals[bucket] == \
+                pytest.approx(live.totals[bucket], rel=1e-6, abs=1e-12)
+
+    def test_fleet_obs_preset_gates_are_exact(self):
+        doc = run_preset("fleet_obs")
+        telemetry = doc["telemetry"]
+        assert telemetry["detection_precision"] == 1.0
+        assert telemetry["detection_recall"] == 1.0
+        assert telemetry["partition_max_gap_s"] == 0.0
+        assert telemetry["partition_max_overlap_s"] == 0.0
+        assert telemetry["partition_exact"] is True
+        assert telemetry["ttft_reconciled"] is True
+        assert telemetry["tpot_reconciled"] is True
+        assert telemetry["missed"] == [] and telemetry["spurious"] == []

@@ -210,3 +210,119 @@ class TestFleetFuzz:
         # byte-stable: the same plan re-run emits the same report
         _, again = self._run(plan)
         assert dumps_json(report.to_json()) == dumps_json(again.to_json())
+
+
+class TestTelemetryFuzz:
+    """Randomized fault plans with the full telemetry stack attached:
+    whatever mix of crashes, stragglers and dispatch losses the plan
+    throws, the request-span partition stays exactly zero-gap and
+    zero-overlap, the SLO monitor's detections score precision = recall
+    = 1.0 against the injected plan, and the flight recorder's
+    postmortem dump is byte-identical when the run repeats."""
+
+    CFG = None
+
+    @classmethod
+    def _config(cls):
+        if cls.CFG is None:
+            from repro.config import ModelConfig
+            cls.CFG = ModelConfig(num_layers=2, hidden_size=32, num_heads=4,
+                                  seq_length=24, vocab_size=16,
+                                  name="telemetry-fuzz")
+        return cls.CFG
+
+    @classmethod
+    def _run(cls, plan, tp=1, sp=False):
+        from repro.fleet import build_fleet
+        from repro.observability import (
+            FlightRecorder,
+            RequestTracker,
+            SLOMonitor,
+        )
+        from repro.serving import generate_requests
+
+        recorder = FlightRecorder(capacity=32)
+        tracker = RequestTracker()
+        monitor = SLOMonitor(slo_ttft_s=0.05, slo_tpot_s=0.005,
+                             recorder=recorder)
+        fleet = build_fleet(cls._config(), 3, tensor_parallel=tp,
+                            sequence_parallel=sp, block_size=2,
+                            num_blocks=10, max_batch=3, seed=3, plan=plan,
+                            monitor=monitor, recorder=recorder,
+                            request_tracker=tracker)
+        specs = generate_requests(cls._config(), num_requests=6, seed=3,
+                                  arrival_rate=5000.0, prompt_lengths=(1, 3),
+                                  new_tokens=(2, 8))
+        report = fleet.run(specs)
+        return report, monitor, recorder, tracker
+
+    @given(st.integers(0, 10_000), st.floats(0.0, 0.5))
+    @settings(max_examples=8, deadline=None)
+    def test_partition_and_detection_exact_under_random_plans(
+            self, seed_value, fault_rate):
+        from repro.observability import reconcile_quantiles, verify_partition
+        from repro.resilience import FLEET_KINDS, FaultPlan
+
+        plan = FaultPlan.random(seed=seed_value, num_steps=16,
+                                fault_rate=fault_rate, world_size=3,
+                                kinds=FLEET_KINDS)
+        report, monitor, recorder, tracker = self._run(plan)
+        partition = verify_partition(tracker)
+        assert partition["exact"], partition
+        score = monitor.score_against(report)
+        assert score["precision"] == 1.0, score
+        assert score["recall"] == 1.0, score
+        reconciled = reconcile_quantiles(tracker, report)
+        assert reconciled["ttft_match"] and reconciled["tpot_match"]
+        # every ledger fault leaves a postmortem (faults that fired
+        # without touching a tracked request can add extra ones)
+        assert len(recorder.postmortems) >= score["injected"]
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=4, deadline=None)
+    def test_postmortems_and_traces_byte_identical_at_equal_seeds(
+            self, seed_value):
+        from repro.resilience import FLEET_KINDS, FaultPlan
+
+        plan = FaultPlan.random(seed=seed_value, num_steps=16,
+                                fault_rate=0.4, world_size=3,
+                                kinds=FLEET_KINDS)
+        _, _, rec_a, trk_a = self._run(plan)
+        _, _, rec_b, trk_b = self._run(plan)
+        assert rec_a.dumps() == rec_b.dumps()
+        assert trk_a.to_json() == trk_b.to_json()
+
+    @pytest.mark.parametrize("tp,sp", [(1, False), (2, False), (2, True)])
+    def test_exactness_holds_across_parallel_layouts(self, tp, sp):
+        from repro.observability import verify_partition
+        from repro.resilience import FaultKind, FaultPlan, FaultSpec
+
+        plan = FaultPlan([
+            FaultSpec(step=4, kind=FaultKind.REPLICA_CRASH, rank=1),
+            FaultSpec(step=6, kind=FaultKind.SLOW_REPLICA, rank=2,
+                      slowdown=6.0),
+            FaultSpec(step=1, kind=FaultKind.DISPATCH_LOSS),
+        ])
+        report, monitor, _, tracker = self._run(plan, tp=tp, sp=sp)
+        assert verify_partition(tracker)["exact"]
+        score = monitor.score_against(report)
+        assert score["precision"] == 1.0 and score["recall"] == 1.0
+
+    def test_every_fleet_fault_kind_is_detected(self):
+        """One of each kind, far apart, so each detection is attributable."""
+        from repro.resilience import FaultKind, FaultPlan, FaultSpec
+
+        kinds = {
+            FaultKind.REPLICA_CRASH: FaultSpec(
+                step=4, kind=FaultKind.REPLICA_CRASH, rank=1),
+            FaultKind.SLOW_REPLICA: FaultSpec(
+                step=6, kind=FaultKind.SLOW_REPLICA, rank=2, slowdown=6.0),
+            FaultKind.DISPATCH_LOSS: FaultSpec(
+                step=1, kind=FaultKind.DISPATCH_LOSS),
+        }
+        for kind, spec in kinds.items():
+            report, monitor, _, _ = self._run(FaultPlan([spec]))
+            score = monitor.score_against(report)
+            assert score["injected"] >= 1, kind
+            assert score["precision"] == 1.0, (kind, score)
+            assert score["recall"] == 1.0, (kind, score)

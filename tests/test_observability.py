@@ -476,3 +476,115 @@ class TestJsonFlags:
         assert capsys.readouterr().out == first
         doc = json.loads(first)
         assert first == dumps_json(doc)
+
+
+class TestWindowedHistogram:
+    def test_windowed_quantile_sees_only_recent_samples(self):
+        h = Histogram("lat", buckets=(0.001, 0.01, 0.1), window=4)
+        for _ in range(8):
+            h.observe(0.0005)          # old regime: fast
+        for _ in range(4):
+            h.observe(0.05)            # new regime: slow
+        # all-time p50 sits in the fast regime; windowed p50 is pure slow
+        assert h.quantile(0.5) < 0.001
+        assert h.quantile(0.5, window=4) > 0.01
+        # a wider request than the ring holds degrades to the ring
+        assert h.quantile(0.5, window=100) == h.quantile(0.5, window=4)
+
+    def test_default_output_independent_of_window_size(self):
+        """The ring is a pure addition: cumulative buckets, sums,
+        quantiles and the exported snapshot are byte-identical whatever
+        window the histogram was built with."""
+        a = Histogram("lat", buckets=(0.001, 0.01, 0.1), window=2)
+        b = Histogram("lat", buckets=(0.001, 0.01, 0.1), window=512)
+        for v in (0.0005, 0.005, 0.05, 5.0, 0.0005):
+            a.observe(v)
+            b.observe(v)
+        assert dumps_json(a.snapshot()) == dumps_json(b.snapshot())
+        assert a.quantile(0.95) == b.quantile(0.95)
+
+    def test_windowed_snapshot_same_schema(self):
+        h = Histogram("lat", buckets=(0.001, 0.01), window=4)
+        for v in (0.0005, 0.005, 0.005, 0.005, 0.005):
+            h.observe(v)
+        full, recent = h.snapshot()[""], h.snapshot(window=4)[""]
+        assert set(full) == set(recent)
+        assert full["count"] == 5 and recent["count"] == 4
+        assert recent["buckets"] == {"0.001": 0, "0.01": 4}
+
+    def test_empty_window_quantile_is_zero(self):
+        assert Histogram("lat", window=4).quantile(0.5, window=4) == 0.0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", window=0)
+
+
+class TestFlowEvents:
+    META = [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "x"}}]
+
+    @staticmethod
+    def _x(ts, **args):
+        return {"name": "a", "ph": "X", "ts": ts, "dur": 1.0, "pid": 1,
+                "tid": 0, "args": args}
+
+    def test_matched_flow_pair_validates(self):
+        validate_trace_events(self.META + [
+            self._x(0.0, flow_out=3), self._x(1.0, flow_in=3)])
+
+    def test_dangling_flow_out_rejected(self):
+        with pytest.raises(ValueError, match="dangling flow ids"):
+            validate_trace_events(self.META + [self._x(0.0, flow_out=3)])
+
+    def test_dangling_flow_in_rejected(self):
+        with pytest.raises(ValueError, match=r"dangling flow ids.*\[7\]"):
+            validate_trace_events(self.META + [
+                self._x(0.0, flow_out=3), self._x(1.0, flow_in=3),
+                self._x(2.0, flow_in=7)])
+
+    @pytest.mark.parametrize("bad", [-1, True, 1.5, "3"])
+    def test_flow_ids_must_be_nonneg_ints(self, bad):
+        with pytest.raises(ValueError, match="bad flow_out id"):
+            validate_trace_events(self.META + [self._x(0.0, flow_out=bad)])
+
+    def test_request_and_monitor_phase_tags_accepted(self):
+        events = list(self.META)
+        events.append(self._x(0.0, phase="request"))
+        events.append(self._x(1.0, phase="monitor"))
+        validate_trace_events(events)
+
+    def test_fleet_trace_flows_validate_end_to_end(self):
+        """A real chaos-fleet run with the tracker attached emits
+        matched flow pairs across the router and replica tracks."""
+        from repro.fleet import build_fleet
+        from repro.observability import RequestTracker
+        from repro.resilience import FaultKind, FaultPlan, FaultSpec
+        from repro.serving import generate_requests
+
+        cfg = ModelConfig(num_layers=2, hidden_size=32, num_heads=4,
+                          seq_length=24, vocab_size=16, name="flow-fleet")
+        tracer = Tracer()
+        tracker = RequestTracker(tracer=tracer)
+        fleet = build_fleet(cfg, 3, block_size=2, num_blocks=10, max_batch=3,
+                            seed=3, tracer=tracer, request_tracker=tracker,
+                            plan=FaultPlan([
+                                FaultSpec(step=4, kind=FaultKind.REPLICA_CRASH,
+                                          rank=1),
+                                FaultSpec(step=1,
+                                          kind=FaultKind.DISPATCH_LOSS),
+                            ]))
+        specs = generate_requests(cfg, num_requests=6, seed=3,
+                                  arrival_rate=5000.0, prompt_lengths=(1, 3),
+                                  new_tokens=(2, 8))
+        fleet.run(specs)
+        events = merged_trace(tracer)["traceEvents"]
+        validate_trace_events(events)
+        outs = [e["args"]["flow_out"] for e in events
+                if e.get("ph") == "X" and "flow_out" in e.get("args", {})]
+        ins = {e["args"]["flow_in"] for e in events
+               if e.get("ph") == "X" and "flow_in" in e.get("args", {})}
+        assert outs and set(outs) == ins
+        # request track present alongside the replica tracks
+        assert SUBSYSTEM_PIDS["request"] in {e["pid"] for e in events
+                                             if e.get("ph") == "X"}
