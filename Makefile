@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction.
 PY ?= python
 
-.PHONY: test bench bench-gate chaos trace serve fleet monitor report examples all clean
+.PHONY: test bench bench-gate chaos trace serve fleet monitor memprofile report examples all clean
 
 test:
 	$(PY) -m pytest tests/
@@ -60,6 +60,15 @@ monitor:
 		--request-trace request-trace.json --trace-out monitor-trace.json
 	@echo "telemetry artifacts: postmortem.json request-trace.json monitor-trace.json"
 
+# Activation-ledger memory profile: per-tensor timeline with bitwise
+# peak attribution, save-vs-recompute frontier pricing and Perfetto
+# memory counter tracks (docs/observability.md "Profiling memory").
+memprofile:
+	$(PY) -m pytest tests/test_memprof.py
+	$(PY) -m repro memprofile --config 22B --output-dir memprof-out
+	$(PY) -c "import json; json.load(open('memprof-out/memprof-ledger.json')); json.load(open('memprof-out/memprof-flamegraph.json'))"
+	@echo "memory profile artifacts written to memprof-out/"
+
 report:
 	$(PY) -m repro report --output report.md
 
@@ -71,5 +80,5 @@ all: test bench report
 
 clean:
 	rm -rf .pytest_cache .hypothesis report.md trace-out serve-trace.json fleet-trace.json \
-		postmortem.json request-trace.json monitor-trace.json
+		postmortem.json request-trace.json monitor-trace.json memprof-out
 	find . -name __pycache__ -type d -exec rm -rf {} +

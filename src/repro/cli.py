@@ -484,10 +484,122 @@ def cmd_serve(args) -> str:
         f"({report.tokens_per_s:.0f} tok/s)\n"
         f"  preemptions {report.preemptions}, resumes {report.resumes}, "
         f"peak KV occupancy {pct(report.peak_kv_occupancy)}, "
-        f"KV drift {report.kv_drift_bytes:.0f} B\n"
+        f"KV drift {report.kv_drift_bytes:.0f} B, "
+        f"KV fragmentation {pct(report.kv_fragmentation)}\n"
         f"  token latency p50 {1e3 * report.p50_token_latency_s:.3f} ms, "
         f"p95 {1e3 * report.p95_token_latency_s:.3f} ms" + trace_note
     )
+
+
+def cmd_memprofile(args) -> str:
+    """Profile one abstract transformer layer with the activation ledger
+    and write the canonical artifacts: the per-tensor ledger with exact
+    peak attribution and the save-vs-recompute frontier
+    (``memprof-ledger.json``), a flamegraph-style byte tree keyed by
+    module path (``memprof-flamegraph.json``), and a validated Perfetto
+    trace with live-bytes counter tracks (``memprof-trace.json``).  The
+    attribution is bitwise: entry bytes sum exactly to the tracker's
+    ``peak_bytes`` per rank and reconcile term-by-term with the Section
+    4 closed forms.
+    """
+    import os
+
+    from .config import PAPER_CONFIGS, ModelConfig
+    from .layers.transformer import Recompute
+    from .observability import (
+        Tracer,
+        arena_recycling_report,
+        check_peak_attribution,
+        counter_events,
+        dump_json,
+        export_trace,
+        flamegraph,
+        frontier_by_category,
+        ledger_document,
+        paged_kv_fragmentation,
+        profile_layer,
+        selective_recompute_dominates,
+        validate_trace_file,
+    )
+
+    if args.config in PAPER_CONFIGS:
+        model_cfg = PAPER_CONFIGS[args.config].model
+    else:
+        from .observability.regress import TRACE_PRESETS
+        shape = dict(TRACE_PRESETS[args.config])
+        shape.pop("microbatches")
+        shape.pop("batch")
+        model_cfg = ModelConfig(name=f"memprof-{args.config}", **shape)
+    recompute = Recompute(args.recompute)
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    tracer = Tracer()
+    prof, ledger = profile_layer(
+        model_cfg, args.microbatch, args.tp, args.sequence_parallel,
+        recompute, fused=args.fused, tracer=tracer)
+    config_doc = {
+        "config": args.config, "microbatch": args.microbatch,
+        "tensor_parallel": args.tp,
+        "sequence_parallel": args.sequence_parallel,
+        "recompute": recompute.value, "fused": args.fused,
+    }
+    doc = ledger_document(prof, ledger, config=config_doc)
+    doc["fragmentation"] = {"paged_kv": paged_kv_fragmentation(seed=args.seed)}
+    if args.fused:
+        doc["fragmentation"]["fusion_arena"] = arena_recycling_report()
+    checks = check_peak_attribution(
+        model_cfg, args.microbatch, args.tp, args.sequence_parallel,
+        recompute, fused=args.fused)
+    doc["attribution_checks"] = [
+        {"rank": c.rank, "exact": c.exact, "peak_bytes": c.peak_bytes,
+         "term_drift_total": c.term_drift_total} for c in checks]
+
+    ledger_path = os.path.join(args.output_dir, "memprof-ledger.json")
+    dump_json(doc, ledger_path)
+    flame_path = os.path.join(args.output_dir, "memprof-flamegraph.json")
+    dump_json({str(r): flamegraph(ledger, r) for r in ledger.ranks()},
+              flame_path)
+    trace_path = os.path.join(args.output_dir, "memprof-trace.json")
+    num_events = export_trace(tracer, trace_path,
+                              extra_events=counter_events(ledger))
+    validate_trace_file(trace_path)
+
+    if args.json:
+        return emit_json(doc)
+    rank0 = doc["peak"]["0"]
+    cats = frontier_by_category(doc["frontier"]["0"])
+    top = sorted(
+        ((c, agg) for c, agg in cats.items()
+         if agg["bytes_per_recompute_s"] is not None),
+        key=lambda kv: -kv[1]["bytes_per_recompute_s"])[:3]
+    lines = [
+        f"memprofiled {model_cfg.name} layer (b={args.microbatch}, "
+        f"t={args.tp}, sp={args.sequence_parallel}, "
+        f"recompute={recompute.value}, fused={args.fused}): "
+        f"{len(ledger.entries)} ledger entries, "
+        f"{len(ledger.timeline)} timeline events",
+        f"  rank 0 peak {rank0['peak_bytes']} B, attribution exact="
+        f"{all(c.exact for c in checks)} over {len(checks)} rank(s), "
+        f"term drift {max(c.term_drift_total for c in checks):.1f} B",
+        f"  softmax/dropout dominate frontier: "
+        f"{selective_recompute_dominates(cats)}; top categories by "
+        "bytes-per-recompute-second:",
+    ]
+    for cat, agg in top:
+        lines.append(
+            f"    {cat}: {agg['nbytes']} B / {agg['recompute_s']:.3e} s "
+            f"= {agg['bytes_per_recompute_s']:.3e} B/s")
+    frag = doc["fragmentation"]["paged_kv"]
+    lines += [
+        f"  paged-KV fragmentation over {frag['rounds']} round(s): "
+        f"max {frag['max_fragmentation']:.1%}, "
+        f"final {frag['final_fragmentation']:.1%}",
+        f"  {ledger_path}: canonical ledger + frontier",
+        f"  {flame_path}: flamegraph byte tree",
+        f"  {trace_path}: {num_events} events (validated; open in "
+        "https://ui.perfetto.dev)",
+    ]
+    return "\n".join(lines)
 
 
 def _chaos_plan(seed: int, fault_rate: float, world_size: int):
@@ -734,6 +846,12 @@ def cmd_bench(args) -> str:
                         f"{doc['telemetry']['detection_recall']:.2f}, "
                         f"partition exact="
                         f"{doc['telemetry']['partition_exact']}")
+        if "exactness" in doc:
+            dominates = all(f["selective_recompute_dominates"]
+                            for f in doc["frontier"].values())
+            summary += (f", attribution exact="
+                        f"{doc['exactness']['all_exact']}, "
+                        f"frontier dominates={dominates}")
         lines.append(summary + ")")
 
     if args.check:
@@ -985,6 +1103,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write a validated Perfetto trace here")
     add_json_flag(p)
     p.set_defaults(fn=cmd_monitor)
+
+    p = sub.add_parser(
+        "memprofile",
+        help="activation ledger: per-tensor peak attribution, "
+             "save-vs-recompute frontier, memory counter tracks")
+    p.add_argument("--config", default="22B",
+                   choices=["tiny", "small", "22B", "175B", "530B", "1T"],
+                   help="paper config or trace preset to profile one "
+                        "layer of (default: 22B)")
+    p.add_argument("--microbatch", type=int, default=1)
+    p.add_argument("--tp", type=int, default=1, help="tensor parallel size")
+    p.add_argument("--sequence-parallel", action="store_true")
+    p.add_argument("--recompute", default="none",
+                   choices=["none", "selective", "full"])
+    p.add_argument("--fused", action="store_true",
+                   help="profile the fused-kernel layer variant")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the paged-KV fragmentation workload")
+    p.add_argument("--output-dir", default="memprof-out")
+    add_json_flag(p)
+    p.set_defaults(fn=cmd_memprofile)
 
     p = sub.add_parser(
         "bench", help="benchmark presets -> BENCH_*.json; --check gates "

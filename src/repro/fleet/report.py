@@ -41,6 +41,9 @@ class FleetReport(ResilienceReport):
     useful_s: float = 0.0
     wasted_s: float = 0.0
     kv_drift_bytes: float = 0.0
+    #: worst paged-KV pool fragmentation (1 - peak_live/peak_reserved)
+    #: seen by any replica across its whole life, restarts included.
+    kv_fragmentation: float = 0.0
     ttft_p50_s: float = 0.0
     ttft_p95_s: float = 0.0
     ttft_p99_s: float = 0.0
@@ -71,6 +74,7 @@ class FleetReport(ResilienceReport):
             "useful_s": self.useful_s,
             "wasted_s": self.wasted_s,
             "kv_drift_bytes": self.kv_drift_bytes,
+            "kv_fragmentation": self.kv_fragmentation,
             "ttft_p50_s": self.ttft_p50_s,
             "ttft_p95_s": self.ttft_p95_s,
             "ttft_p99_s": self.ttft_p99_s,
@@ -100,5 +104,6 @@ class FleetReport(ResilienceReport):
         lines.append(
             f"  goodput {self.goodput():.1%} (useful {self.useful_s:.6f} s "
             f"/ wasted {self.wasted_s:.6f} s); KV drift "
-            f"{self.kv_drift_bytes:.1f} B")
+            f"{self.kv_drift_bytes:.1f} B; KV fragmentation "
+            f"{self.kv_fragmentation:.1%}")
         return "\n".join(lines)

@@ -110,6 +110,7 @@ class Replica:
         self.total_preemptions = 0
         self.total_resumes = 0
         self.max_drift = 0.0
+        self.max_fragmentation = 0.0
         self.reset()
 
     @property
@@ -144,6 +145,8 @@ class Replica:
         self.total_preemptions += self.scheduler.preemptions
         self.total_resumes += self.scheduler.resumes
         self.max_drift = max(self.max_drift, self.scheduler.max_drift)
+        self.max_fragmentation = max(self.max_fragmentation,
+                                     self.kv_fragmentation_now)
 
     @property
     def preemptions(self) -> int:
@@ -156,6 +159,17 @@ class Replica:
     @property
     def drift_bytes(self) -> float:
         return max(self.max_drift, self.scheduler.max_drift)
+
+    @property
+    def kv_fragmentation_now(self) -> float:
+        """Pool fragmentation of the *current* KV arena."""
+        return self.engine.cache.arena.stats.fragmentation
+
+    @property
+    def kv_fragmentation(self) -> float:
+        """Worst paged-KV pool fragmentation across this replica's life
+        (restarts discard the arena but not this ledger)."""
+        return max(self.max_fragmentation, self.kv_fragmentation_now)
 
 
 @dataclass
@@ -723,6 +737,12 @@ class FleetRouter:
         self._record("straggler_flagged", replica=replica.replica_id,
                      round=round_idx,
                      ratio=observed / max(expected, 1e-30))
+        # A watchdog trip snapshots the ring, like every fault path:
+        # a straggler re-flagged after a transient restart is a ledger
+        # fault of its own and must leave its own postmortem.
+        self._postmortem("straggler_flagged", replica=replica.replica_id,
+                         round=round_idx,
+                         ratio=observed / max(expected, 1e-30))
         drained = 0
         before = replica.scheduler.clock
         for state, _ in list(replica.scheduler.resident_requests()):
@@ -804,6 +824,8 @@ class FleetRouter:
         report.final_world_size = report.final_replicas
         report.kv_drift_bytes = max(
             (r.drift_bytes for r in self.replicas), default=0.0)
+        report.kv_fragmentation = max(
+            (r.kv_fragmentation for r in self.replicas), default=0.0)
         report.ttft_p50_s = self._ttft.quantile(0.50)
         report.ttft_p95_s = self._ttft.quantile(0.95)
         report.ttft_p99_s = self._ttft.quantile(0.99)

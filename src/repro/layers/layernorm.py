@@ -25,6 +25,7 @@ class LayerNorm(Module):
         self.hidden_size = hidden_size
         self.eps = eps
         self.fused = fused
+        self.name = name
         if abstract:
             gamma = [AbstractArray((hidden_size,)) for _ in range(world)]
             beta = [AbstractArray((hidden_size,)) for _ in range(world)]

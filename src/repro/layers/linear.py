@@ -37,6 +37,7 @@ class Linear(Module):
         self.in_features = in_features
         self.out_features = out_features
         self.category = category
+        self.name = name
         self.weight = parameter(
             init_weight(rng, (in_features, out_features), abstract),
             dtype=FP16, layout="replicated", name=f"{name}.weight",

@@ -26,6 +26,7 @@ class MLP(Module):
                  abstract: bool = False, tag: str = "mlp", fused: bool = False):
         ffn = ffn_hidden_size if ffn_hidden_size is not None else 4 * hidden_size
         self.fused = fused
+        self.tag = tag
         self.fc1 = Linear(hidden_size, ffn, rng=rng, abstract=abstract,
                           category="mlp_fc1_input", name=f"{tag}.fc1")
         self.fc2 = Linear(ffn, hidden_size, rng=rng, abstract=abstract,

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Iterator, List, Tuple
 
 from ..tensor import Tensor
+from ..tensor.context import ctx
 
 
 class Module:
@@ -14,7 +15,16 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        # The memory profiler threads the module path through every save
+        # site; one identity check keeps the off-path free.
+        mp = ctx().memprof
+        if mp is None:
+            return self.forward(*args, **kwargs)
+        mp.push_module(self)
+        try:
+            return self.forward(*args, **kwargs)
+        finally:
+            mp.pop_module()
 
     def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
         seen = set()

@@ -11,7 +11,13 @@ reproducible:
   histograms with Prometheus-text and canonical-JSON export;
 * :mod:`~repro.observability.perfetto` — the merged Chrome/Perfetto
   trace exporter (one pid per subsystem, one tid per rank, counter
-  tracks for activation bytes) plus the schema validator.
+  tracks for activation bytes) plus the schema validator;
+* :mod:`~repro.observability.memprof` — the activation ledger: a
+  per-tensor memory-timeline profiler with bitwise-exact peak
+  attribution (by module path and Eq-term category), roofline-priced
+  save-vs-recompute frontiers, Perfetto memory counter tracks and
+  allocator fragmentation analysis.  Entry point:
+  ``python -m repro memprofile``.
 
 The serving fleet adds a request-level telemetry layer:
 
@@ -56,6 +62,27 @@ from .analysis import (
     schedule_critical_path,
     utilization_crosscheck,
 )
+from .memprof import (
+    AttributionCheck,
+    LedgerEntry,
+    MemoryLedger,
+    MemProfiler,
+    PeakAttribution,
+    active_memprof,
+    arena_recycling_report,
+    check_peak_attribution,
+    counter_events,
+    flamegraph,
+    frontier,
+    frontier_by_category,
+    install_memprof,
+    ledger_document,
+    memprof_scope,
+    paged_kv_fragmentation,
+    peak_attribution,
+    profile_layer,
+    selective_recompute_dominates,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .monitor import Detection, FlightRecorder, SLOMonitor
 from .perfetto import (
@@ -94,17 +121,23 @@ from .tracer import (
 )
 
 __all__ = [
-    "Attribution", "Counter", "CriticalPath", "Detection", "FlightRecorder",
-    "Gauge", "Histogram", "InstantEvent", "MemoryTermDrift",
-    "MetricsRegistry", "RankAttribution", "Regression", "RequestSpan",
-    "RequestTrace", "RequestTracker", "SLOMonitor", "SpanEvent", "TraceData",
-    "Tracer", "UtilizationCrosscheck", "active_tracer", "attribute",
-    "check_against_baselines", "compare", "dump_json", "dumps_json",
-    "export_trace", "from_chrome_events", "from_tracer", "install_tracer",
-    "load_trace", "memory_drift_report", "memory_term_drift", "merged_trace",
-    "partition_error", "reconcile_quantiles", "rehome_events", "run_preset",
-    "schedule_critical_path", "span_or_null", "to_jsonable",
-    "trace_latencies", "trace_scope", "tracer_events",
-    "utilization_crosscheck", "validate_trace_events", "validate_trace_file",
-    "verify_partition", "write_bench",
+    "Attribution", "AttributionCheck", "Counter", "CriticalPath",
+    "Detection", "FlightRecorder", "Gauge", "Histogram", "InstantEvent",
+    "LedgerEntry", "MemProfiler", "MemoryLedger", "MemoryTermDrift",
+    "MetricsRegistry", "PeakAttribution", "RankAttribution", "Regression",
+    "RequestSpan", "RequestTrace", "RequestTracker", "SLOMonitor",
+    "SpanEvent", "TraceData", "Tracer", "UtilizationCrosscheck",
+    "active_memprof", "active_tracer", "arena_recycling_report", "attribute",
+    "check_against_baselines", "check_peak_attribution", "compare",
+    "counter_events", "dump_json", "dumps_json", "export_trace",
+    "flamegraph", "from_chrome_events", "from_tracer", "frontier",
+    "frontier_by_category", "install_memprof", "install_tracer",
+    "ledger_document", "load_trace", "memory_drift_report",
+    "memory_term_drift", "memprof_scope", "merged_trace",
+    "paged_kv_fragmentation", "partition_error", "peak_attribution",
+    "profile_layer", "reconcile_quantiles", "rehome_events", "run_preset",
+    "schedule_critical_path", "selective_recompute_dominates",
+    "span_or_null", "to_jsonable", "trace_latencies", "trace_scope",
+    "tracer_events", "utilization_crosscheck", "validate_trace_events",
+    "validate_trace_file", "verify_partition", "write_bench",
 ]

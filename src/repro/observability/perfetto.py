@@ -255,7 +255,18 @@ def validate_trace_events(events: List[dict]) -> None:
                     raise ValueError(
                         f"bad {side} id {flow!r} (want int >= 0): {event!r}")
                 seen.add(flow)
-        if ph in ("X", "i", "I"):
+        if ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(
+                    f"counter event needs a non-empty args dict: {event!r}")
+            for series, value in args.items():
+                if isinstance(value, bool) or \
+                        not isinstance(value, (int, float)) or value < 0:
+                    raise ValueError(
+                        f"bad counter value {series}={value!r} "
+                        f"(want number >= 0): {event!r}")
+        if ph in ("X", "i", "I", "C"):
             track = (event["pid"], event["tid"])
             if event["ts"] < last_ts.get(track, 0.0):
                 raise ValueError(

@@ -38,7 +38,7 @@ from .serialize import dumps_json, to_jsonable
 SCHEMA_VERSION = 1
 
 PRESET_NAMES = ("tiny", "small", "chaos", "substrate", "serve",
-                "chaos_serve", "fleet_obs")
+                "chaos_serve", "fleet_obs", "memprof")
 
 DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
 
@@ -95,6 +95,18 @@ TOLERANCES: Tuple[Tuple[str, Tuple[str, float]], ...] = (
     # fleet trace hash — rides the simulated clock and is exact.
     ("fleet.goodput", ("floor", 0.85)),
     ("fleet.", ("exact", 0)),
+    # The activation-ledger gate: peak attribution must stay *bitwise*
+    # exact on every (config, layout, recompute, fused) cell, the priced
+    # frontier must keep ranking the attention softmax/dropout tensors
+    # as the paper's best save-vs-recompute candidates, and the
+    # fragmentation/counter accounting rides the deterministic allocator
+    # and sequence clock.  The <5% disabled-overhead bound is asserted
+    # by ``benchmarks/bench_memprof.py`` (wall clock lives under
+    # ``timing.``, ignored here).
+    ("exactness.", ("exact", 0)),
+    ("frontier.", ("exact", 0)),
+    ("fragmentation.", ("exact", 0)),
+    ("ledger.", ("exact", 0)),
     # The fleet-telemetry gate: detection precision/recall against the
     # injected plan, the request-span partition invariant, TTFT/TPOT
     # reconciliation and the postmortem/request-trace fingerprints all
@@ -775,6 +787,134 @@ def _run_fleet_obs_preset(seed_value: int, steps: int) -> dict:
     return doc
 
 
+def _run_memprof_preset(seed_value: int, steps: int) -> dict:
+    """The activation-ledger gate (``repro memprofile`` machinery).
+
+    Gated quantities, all exact: the peak-attribution exactness matrix
+    — every (shape, tensor-parallel/sequence-parallel layout, recompute,
+    fused) cell must decompose the tracker's per-rank peak *bitwise* by
+    module path and category and reconcile term-by-term with the
+    Section 4 closed forms at literally zero drift; the 22B frontier
+    must keep pricing the attention softmax/dropout tensors as the
+    paper's best bytes-per-recompute-second candidates (with their
+    per-category byte totals pinned exactly); the ledger-vs-tracker
+    live-bytes identity; the paged-KV fragmentation timeline (seeded
+    first-fit churn is deterministic); and the validated counter-track
+    event count.  Enabled-profiler wall cost is recorded under
+    ``timing.`` (ignored — machine-specific); the <5% *disabled*
+    overhead bound is asserted by ``benchmarks/bench_memprof.py``.
+    """
+    import time
+
+    from ..config import PAPER_CONFIGS, ModelConfig
+    from .memprof import (MemProfiler, check_peak_attribution,
+                          counter_events, frontier, frontier_by_category,
+                          paged_kv_fragmentation, profile_layer,
+                          selective_recompute_dominates)
+    from .perfetto import validate_trace_events
+
+    shapes = {
+        name: ModelConfig(name=f"memprof-{name}",
+                          **{k: v for k, v in TRACE_PRESETS[name].items()
+                             if k not in ("microbatches", "batch")})
+        for name in ("tiny", "small")
+    }
+    layouts = ((1, False), (2, False), (2, True))
+
+    exactness: Dict[str, dict] = {}
+    all_exact = True
+    for name, shape in shapes.items():
+        for t, sp in layouts:
+            for recompute in (Recompute.NONE, Recompute.SELECTIVE):
+                for fused in (False, True):
+                    checks = check_peak_attribution(
+                        shape, 1, t, sp, recompute, fused)
+                    cell_exact = all(c.exact for c in checks)
+                    all_exact = all_exact and cell_exact
+                    key = (f"{name}.t{t}{'sp' if sp else ''}."
+                           f"{recompute.value}.{'fused' if fused else 'unfused'}")
+                    exactness[key] = {
+                        "exact": cell_exact,
+                        "ranks": len(checks),
+                        "peak_bytes": [c.peak_bytes for c in checks],
+                        "term_drift_total": max(
+                            c.term_drift_total for c in checks),
+                    }
+    exactness["all_exact"] = all_exact
+
+    # Frontier pricing on the paper's 22B column (Section 5's argument):
+    # softmax/dropout must dominate on bytes-per-recompute-second.
+    model22 = PAPER_CONFIGS["22B"].model
+    frontier_doc: Dict[str, dict] = {}
+    for t, sp in ((1, False), (2, True)):
+        prof, ledger = profile_layer(model22, 1, t, sp, Recompute.NONE)
+        by_cat = frontier_by_category(frontier(prof, ledger, 0))
+        frontier_doc[f"t{t}{'sp' if sp else ''}"] = {
+            "selective_recompute_dominates":
+                selective_recompute_dominates(by_cat),
+            "category_bytes": {c: agg["nbytes"]
+                               for c, agg in by_cat.items()},
+            "must_keep_bytes": {c: agg["must_keep_nbytes"]
+                                for c, agg in by_cat.items()
+                                if agg["must_keep_nbytes"]},
+        }
+
+    # Ledger-vs-tracker identity + counter-track schema on one traced
+    # profile; the merged trace + counter tracks are the determinism
+    # fingerprint.
+    from .tracer import Tracer
+    tracer = Tracer()
+    prof, ledger = profile_layer(shapes["small"], 1, 2, True,
+                                 Recompute.NONE, tracer=tracer)
+    events = counter_events(ledger)
+    validate_trace_events(events)
+    ledger_doc = {
+        "entries": len(ledger.entries),
+        "timeline_events": len(ledger.timeline),
+        "counter_events": len(events),
+        "live_identity": all(
+            ledger.live_entry_bytes(r) == ledger.live_bytes(r)
+            for r in ledger.ranks()),
+    }
+
+    frag = paged_kv_fragmentation(seed=seed_value)
+    fragmentation = {k: v for k, v in frag.items() if k != "samples"}
+
+    # Enabled-profiler cost, interleaved best-of (ratio is stable; the
+    # absolute numbers are machine-specific and ignored by the gate).
+    import gc
+
+    from .analysis import memory_term_drift
+    reps = max(9, steps)
+    best = {"off": float("inf"), "on": float("inf")}
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            memory_term_drift(shapes["small"], 1, 2, True, Recompute.NONE)
+            best["off"] = min(best["off"], time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            profile_layer(shapes["small"], 1, 2, True, Recompute.NONE)
+            best["on"] = min(best["on"], time.perf_counter() - t0)
+    finally:
+        if was_enabled:
+            gc.enable()
+
+    doc = _base_doc("memprof", seed_value, steps, shapes["small"], 2, 1)
+    doc["trace_hash"] = trace_hash(tracer, extra_events=events)
+    doc["exactness"] = exactness
+    doc["frontier"] = frontier_doc
+    doc["ledger"] = ledger_doc
+    doc["fragmentation"] = fragmentation
+    doc["timing"] = {
+        "profile_off_s": best["off"],
+        "profile_on_s": best["on"],
+        "enabled_overhead": best["on"] / best["off"],
+    }
+    return doc
+
+
 def _base_doc(preset: str, seed_value: int, steps: int, model_cfg,
               tp: int, pp: int) -> dict:
     return {
@@ -811,6 +951,8 @@ def run_preset(preset: str, seed_value: int = 1234, steps: int = 2) -> dict:
         return _run_chaos_serve_preset(seed_value, steps)
     if preset == "fleet_obs":
         return _run_fleet_obs_preset(seed_value, steps)
+    if preset == "memprof":
+        return _run_memprof_preset(seed_value, steps)
     if preset not in TRACE_PRESETS:
         raise ValueError(f"unknown preset {preset!r}; "
                          f"expected one of {PRESET_NAMES}")

@@ -26,6 +26,7 @@ class ParallelMLP(Module):
         from .tp_layers import ColumnParallelLinear, RowParallelLinear
 
         self.fused = fused
+        self.tag = tag
         sw = serial_weights or {}
         self.fc1 = ColumnParallelLinear(
             hidden_size, 4 * hidden_size, group,

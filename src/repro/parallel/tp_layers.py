@@ -72,6 +72,7 @@ class ColumnParallelLinear(Module):
         self.fuse_sp_gather = fuse_sp_gather
         self.apply_f = apply_f
         self.category = category
+        self.name = name
         self.weight = parameter(
             _shard_weight(full_weight, (in_features, out_features), t, 1, abstract),
             dtype=FP16, layout="shard(dim=1)", name=f"{name}.weight",
@@ -125,6 +126,7 @@ class RowParallelLinear(Module):
         self.group = group
         self.sequence_parallel = sequence_parallel
         self.category = category
+        self.name = name
         self.weight = parameter(
             _shard_weight(full_weight, (in_features, out_features), t, 0, abstract),
             dtype=FP16, layout="shard(dim=0)", name=f"{name}.weight",

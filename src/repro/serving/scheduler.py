@@ -121,6 +121,9 @@ class ServeReport:
     peak_kv_occupancy: float
     per_request: List[dict]
     timeline: List[dict]
+    #: ``FirstFitAllocator.stats.fragmentation`` of the paged-KV arena at
+    #: end of run: 1 - peak_live/peak_reserved (0.0 = no pool waste).
+    kv_fragmentation: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -137,6 +140,7 @@ class ServeReport:
             "p95_token_latency_s": self.p95_token_latency_s,
             "kv_drift_bytes": self.kv_drift_bytes,
             "peak_kv_occupancy": self.peak_kv_occupancy,
+            "kv_fragmentation": self.kv_fragmentation,
             "per_request": self.per_request,
             "timeline": self.timeline,
         }
@@ -519,4 +523,5 @@ class ContinuousBatchingScheduler:
             / self.engine.cache.num_blocks,
             per_request=per_request,
             timeline=self._timeline,
+            kv_fragmentation=self.engine.cache.arena.stats.fragmentation,
         )

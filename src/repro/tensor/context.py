@@ -31,6 +31,9 @@ class ExecutionContext:
     #: Installed by :func:`repro.observability.tracer.install_tracer`;
     #: ``None`` (tracing off) keeps every hook site a single identity check.
     tracer: Optional[object] = None
+    #: Installed by :func:`repro.observability.memprof.install_memprof`;
+    #: ``None`` (profiling off) keeps every hook site a single identity check.
+    memprof: Optional[object] = None
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
 
 

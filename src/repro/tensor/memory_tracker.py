@@ -38,12 +38,18 @@ class _BufferEntry:
 class WatermarkEvent:
     """One peak-watermark crossing: rank ``rank`` set a new peak at time
     ``t`` (simulated seconds when a tracer clock is wired in, otherwise
-    the tracker's own monotone save/release sequence number)."""
+    the tracker's own monotone save/release sequence number).
+
+    ``by_category`` is the live-bytes composition *at crossing time*
+    (non-zero categories only) — the snapshot-at-peak that previously had
+    to be reconstructed after the fact.  Its values sum exactly to
+    ``live_bytes``."""
 
     t: float
     rank: int
     peak_bytes: int
     live_bytes: int
+    by_category: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -98,7 +104,9 @@ class MemoryTracker:
             self._peak[rank] = self._live[rank]
             self._watermarks.append(WatermarkEvent(
                 t=self._now(), rank=rank, peak_bytes=self._peak[rank],
-                live_bytes=self._live[rank]))
+                live_bytes=self._live[rank],
+                by_category={k: v for k, v in self._category_live[rank].items()
+                             if v != 0}))
 
     def release(self, rank: int, buffer) -> None:
         """Drop one tape reference to ``buffer`` on ``rank``."""

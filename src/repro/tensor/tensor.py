@@ -237,7 +237,7 @@ class FnCtx:
     # -- logging ----------------------------------------------------------------
     def log_gemm(self, name: str, flops_per_rank: float, bytes_moved: float = 0.0) -> None:
         c = ctx()
-        if c.oplog is None and c.tracer is None:
+        if c.oplog is None and c.tracer is None and c.memprof is None:
             return
         record = OpRecord(name=name, kind=OpKind.GEMM, phase=c.phase,
                           flops=flops_per_rank, bytes_moved=bytes_moved)
@@ -245,11 +245,13 @@ class FnCtx:
             c.oplog.add(record)
         if c.tracer is not None:
             c.tracer.on_op(record)
+        if c.memprof is not None:
+            c.memprof.on_op_record(record)
 
     def log_elementwise(self, name: str, bytes_moved: float, flops_per_rank: float = 0.0,
                         fused: bool = False) -> None:
         c = ctx()
-        if c.oplog is None and c.tracer is None:
+        if c.oplog is None and c.tracer is None and c.memprof is None:
             return
         record = OpRecord(name=name, kind=OpKind.ELEMENTWISE, phase=c.phase,
                           flops=flops_per_rank, bytes_moved=bytes_moved, fused=fused)
@@ -257,11 +259,13 @@ class FnCtx:
             c.oplog.add(record)
         if c.tracer is not None:
             c.tracer.on_op(record)
+        if c.memprof is not None:
+            c.memprof.on_op_record(record)
 
     def log_comm(self, name: str, op: str, nbytes: int, group_size: int,
                  scope: str = "tp", overlapped: bool = False) -> None:
         c = ctx()
-        if c.oplog is None and c.tracer is None:
+        if c.oplog is None and c.tracer is None and c.memprof is None:
             return
         record = OpRecord(
             name=name, kind=OpKind.COLLECTIVE if op != "p2p" else OpKind.P2P,
@@ -275,6 +279,8 @@ class FnCtx:
             # The tracer prices P2P records here; collectives are priced
             # by the data-plane hook in repro.comm.collectives instead.
             c.tracer.on_op(record)
+        if c.memprof is not None:
+            c.memprof.on_op_record(record)
 
 
 class Function:
@@ -324,7 +330,15 @@ def apply(fn: Function, *args, **kwargs) -> Union[Tensor, Tuple[Tensor, ...]]:
     tensor_inputs: List[Optional[Tensor]] = [a if isinstance(a, Tensor) else None for a in args]
     fwd_args = [a.shards if isinstance(a, Tensor) else a for a in args]
     fctx = FnCtx(tensor_inputs)
-    out = fn.forward(fctx, *fwd_args, **kwargs)
+    mp = ctx().memprof
+    if mp is None:
+        out = fn.forward(fctx, *fwd_args, **kwargs)
+    else:
+        frame = mp.begin_op(fn.name, tensor_inputs)
+        try:
+            out = fn.forward(fctx, *fwd_args, **kwargs)
+        finally:
+            mp.end_op()
 
     multi = isinstance(out, tuple)
     out_lists = list(out) if multi else [out]
@@ -338,6 +352,8 @@ def apply(fn: Function, *args, **kwargs) -> Union[Tensor, Tuple[Tensor, ...]]:
         Tensor(shards, dtype=dt, requires_grad=requires, layout=_infer_layout(tensor_inputs))
         for shards, dt in zip(out_lists, dtypes)
     ]
+    if mp is not None:
+        mp.register_outputs(frame, tensor_inputs, outputs)
 
     if requires:
         node = Node(fn, fctx, tensor_inputs, outputs)
