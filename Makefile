@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction.
 PY ?= python
 
-.PHONY: test bench bench-gate chaos trace serve fleet monitor memprofile report examples all clean
+.PHONY: test bench bench-gate chaos trace serve fleet monitor memprofile compile report examples all clean
 
 test:
 	$(PY) -m pytest tests/
@@ -69,6 +69,16 @@ memprofile:
 	$(PY) -c "import json; json.load(open('memprof-out/memprof-ledger.json')); json.load(open('memprof-out/memprof-flamegraph.json'))"
 	@echo "memory profile artifacts written to memprof-out/"
 
+# Static-graph step compiler: eager-vs-replay bitwise equivalence
+# matrix, then a compile run per layout printing plan stats with a
+# validated Perfetto trace of a replayed step (docs/architecture.md
+# "Static-graph step compiler").
+compile:
+	$(PY) -m pytest tests/test_compiler.py
+	$(PY) -m repro compile --trace-out compile-trace.json
+	$(PY) -m repro compile --tp 2 --sequence-parallel --recompute selective --microbatches 2 > /dev/null
+	@echo "compiled plans replay bitwise-identical; trace in compile-trace.json"
+
 report:
 	$(PY) -m repro report --output report.md
 
@@ -80,5 +90,5 @@ all: test bench report
 
 clean:
 	rm -rf .pytest_cache .hypothesis report.md trace-out serve-trace.json fleet-trace.json \
-		postmortem.json request-trace.json monitor-trace.json memprof-out
+		postmortem.json request-trace.json monitor-trace.json memprof-out compile-trace.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -34,6 +34,7 @@ from .errors import (
     CheckpointCorruptError,
     CollectiveTimeout,
     CommError,
+    CompilerError,
     ConfigError,
     CorruptionDetected,
     PlanningError,
@@ -51,7 +52,8 @@ __all__ = [
     "ParallelConfig", "ResilienceConfig", "TrainingConfig", "ClusterSpec",
     "GPUSpec", "LinkSpec", "NodeSpec", "selene_like",
     "ReproError", "AutogradError", "CheckpointCorruptError",
-    "CollectiveTimeout", "CommError", "ConfigError", "CorruptionDetected",
+    "CollectiveTimeout", "CommError", "CompilerError", "ConfigError",
+    "CorruptionDetected",
     "PlanningError", "RankFailure", "ScheduleError", "ShapeError",
     "__version__",
 ]

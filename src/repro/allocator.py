@@ -17,6 +17,7 @@ churn the paper worries about.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -118,11 +119,15 @@ class FirstFitAllocator:
                 best_index = i
                 break
         if block is not None:
-            del self._free[best_index]
             if block.size > size:
-                self._free.append(_Block(block.offset + size, block.size - size))
-                self._free.sort(key=lambda b: b.offset)
+                # The remainder starts inside the old block's extent, so
+                # it keeps the block's slot and the list stays
+                # offset-sorted without a re-sort.
+                self._free[best_index] = _Block(block.offset + size,
+                                                block.size - size)
                 block = _Block(block.offset, size)
+            else:
+                del self._free[best_index]
         else:
             if self.capacity is not None and self._top + size > self.capacity:
                 raise PlanningError(
@@ -146,23 +151,37 @@ class FirstFitAllocator:
             raise PlanningError(f"double free or unknown handle {handle}")
         self._live -= block.size
         self.stats.frees += 1
-        self._free.append(block)
-        self._free.sort(key=lambda b: b.offset)
-        self._coalesce()
+        self._insert_free(block)
 
-    def _coalesce(self) -> None:
-        merged: List[_Block] = []
-        for block in self._free:
-            if merged and merged[-1].offset + merged[-1].size == block.offset:
-                merged[-1].size += block.size
-            else:
-                merged.append(block)
+    def _insert_free(self, block: _Block) -> None:
+        """Insert a freed block keeping ``_free`` offset-sorted and
+        coalesced — a bisect insert plus neighbour merges, instead of the
+        former per-free append + full sort + full-list coalesce pass.
+        The list invariant (sorted, adjacent-free, nothing touching the
+        arena top) holds on entry, so only the insertion point can merge."""
+        free = self._free
+        i = bisect.bisect_left(free, block.offset, key=lambda b: b.offset)
+        if i > 0 and free[i - 1].offset + free[i - 1].size == block.offset:
+            merged = free[i - 1]
+            merged.size += block.size
+            index = i - 1
+            if i < len(free) and merged.offset + merged.size == free[i].offset:
+                merged.size += free[i].size
+                del free[i]
+        elif i < len(free) and block.offset + block.size == free[i].offset:
+            merged = free[i]
+            merged.offset = block.offset
+            merged.size += block.size
+            index = i
+        else:
+            free.insert(i, block)
+            merged = block
+            index = i
         # Shrink the arena when the top block is free (allows reserved
         # high-water to stay meaningful rather than monotone).
-        if merged and merged[-1].offset + merged[-1].size == self._top:
-            self._top = merged[-1].offset
-            merged.pop()
-        self._free = merged
+        if index == len(free) - 1 and merged.offset + merged.size == self._top:
+            self._top = merged.offset
+            free.pop()
 
     def offset_of(self, handle: int) -> int:
         """Arena byte offset of a live allocation (stable until freed).

@@ -802,6 +802,127 @@ def cmd_monitor(args) -> str:
     )
 
 
+def cmd_compile(args) -> str:
+    """Capture one training step as a static plan and replay it.
+
+    Builds a small concrete model (serial, or tensor-parallel with
+    ``--tp``), runs one compiled :class:`~repro.training.Trainer` step —
+    the capture step *is* a correct step — then replays the remaining
+    ``--steps`` from the plan cache with no tape construction.  An eager
+    twin runs the same batches under the same per-step RNG seeds, so the
+    reported replay-vs-eager loss drift is exactly zero.  Prints the
+    captured plan's statistics: op schedule breakdown, preplanned arena
+    bytes, static collective schedule, and plan-cache hit/miss counts.
+    ``--json`` emits them through the canonical serializer;
+    ``--trace-out`` writes a validated Perfetto trace of one replayed
+    step (compiled-mode spans and kernel events).
+    """
+    from .config import ModelConfig
+    from .layers import GPTModel
+    from .parallel.transformer import ParallelGPTModel
+    from .tensor import seed
+    from .training import Trainer
+    from .training.data import UniformTokens
+    from .training.optimizer import Adam
+
+    model_cfg = ModelConfig(name="compile", num_layers=args.layers,
+                            hidden_size=128, num_heads=4, seq_length=64,
+                            vocab_size=64)
+    recompute = Recompute(args.recompute)
+
+    def build():
+        seed(args.seed)
+        if args.tp > 1:
+            model = ParallelGPTModel(
+                model_cfg, tensor_parallel=args.tp,
+                sequence_parallel=args.sequence_parallel,
+                attention_dropout=0.0, hidden_dropout=0.0,
+                recompute=recompute, seed=0)
+        else:
+            model = GPTModel(model_cfg, attention_dropout=0.0,
+                             hidden_dropout=0.0, recompute=recompute, seed=0)
+        return model
+
+    compiled = Trainer(build(), lr=1e-3, compiled=True)
+    eager = Trainer(build(), lr=1e-3)
+
+    data = UniformTokens(model_cfg.vocab_size, model_cfg.seq_length,
+                         seed=args.seed + 1)
+    batches = [data.batch(args.batch) for _ in range(args.steps)]
+    drift = 0.0
+    losses = []
+    for step, (ids, targets) in enumerate(batches):
+        seed(args.seed + 100 + step)
+        loss_c = compiled.train_step(ids, targets,
+                                     num_microbatches=args.microbatches)
+        seed(args.seed + 100 + step)
+        loss_e = eager.train_step(ids, targets,
+                                  num_microbatches=args.microbatches)
+        drift = max(drift, abs(loss_c - loss_e))
+        losses.append(loss_c)
+
+    plan = compiled.plans.plans()[0]
+    cache = compiled.plans.stats()
+
+    trace_note = ""
+    if args.trace_out:
+        from .observability import (
+            Tracer,
+            export_trace,
+            trace_scope,
+            validate_trace_file,
+        )
+        tracer = Tracer()
+        ids, targets = batches[-1]
+        with trace_scope(tracer):
+            seed(args.seed + 100 + len(batches))
+            compiled.train_step(ids, targets,
+                                num_microbatches=args.microbatches)
+        num_events = export_trace(tracer, args.trace_out)
+        validate_trace_file(args.trace_out)
+        trace_note = (f"\n  {args.trace_out}: {num_events} events "
+                      "(validated; open in https://ui.perfetto.dev)")
+
+    stats = plan.stats()
+    if args.json:
+        return emit_json({
+            "config": {"name": model_cfg.name,
+                       "num_layers": model_cfg.num_layers,
+                       "hidden_size": model_cfg.hidden_size,
+                       "tensor_parallel": args.tp,
+                       "sequence_parallel": bool(args.sequence_parallel),
+                       "recompute": recompute.value,
+                       "microbatches": args.microbatches,
+                       "batch": args.batch},
+            "plan": stats,
+            "collectives": [
+                {"op_index": index, "kind": kind, "fn": name}
+                for index, kind, name in plan.collective_schedule()],
+            "cache": cache,
+            "steps": args.steps,
+            "losses": losses,
+            "replay_vs_eager_loss_drift": drift,
+        })
+    counts = ", ".join(
+        f"{stats[k]} {k.replace('_ops', '')}"
+        for k in ("forward_ops", "backward_ops", "release_ops", "seed_ops",
+                  "external_ops"))
+    return (
+        f"compiled {model_cfg.name} (layers={model_cfg.num_layers}, "
+        f"tp={args.tp}{', sp' if args.sequence_parallel else ''}, "
+        f"recompute={recompute.value}, microbatches={args.microbatches}): "
+        f"plan {plan.label!r}\n"
+        f"  {stats['ops']} ops ({counts}), "
+        f"{stats['collectives']} collective(s), {stats['inputs']} input(s)\n"
+        f"  arena {fmt_bytes(stats['arena_bytes'])} across "
+        f"{stats['planned_buffers']} planned buffer(s)\n"
+        f"  cache: {cache['plans']} plan(s), {cache['hits']} hit(s), "
+        f"{cache['misses']} miss(es); {stats['replays']} replay(s)\n"
+        f"  {args.steps} step(s), final loss {losses[-1]:.6f}, "
+        f"replay-vs-eager loss drift {drift:g} (exact)" + trace_note
+    )
+
+
 def cmd_bench(args) -> str:
     """Run the benchmark presets, write canonical ``BENCH_<preset>.json``
     documents, and (with ``--check``) gate against committed baselines.
@@ -833,6 +954,11 @@ def cmd_bench(args) -> str:
         if "serial_speedup" in doc.get("timing", {}):
             summary += (f", fusion x{doc['timing']['serial_speedup']:.2f} "
                         f"serial / x{doc['timing']['tensor_parallel_speedup']:.2f} tp")
+        if "compiled_chain_speedup" in doc.get("timing", {}):
+            summary += (f", replay x"
+                        f"{doc['timing']['compiled_chain_speedup']:.2f} "
+                        f"chain (drift "
+                        f"{doc['compiler']['replay_loss_drift']:g})")
         if "serving" in doc:
             summary += (f", serve x"
                         f"{doc['serving']['continuous_vs_static_speedup']:.2f}"
@@ -1124,6 +1250,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output-dir", default="memprof-out")
     add_json_flag(p)
     p.set_defaults(fn=cmd_memprofile)
+
+    p = sub.add_parser(
+        "compile", help="capture one training step as a static plan, "
+                        "replay it, report plan stats and zero loss drift")
+    p.add_argument("--layers", type=int, default=2,
+                   help="transformer layers in the toy model")
+    p.add_argument("--tp", type=int, default=1, help="tensor-parallel size")
+    p.add_argument("--sequence-parallel", action="store_true",
+                   help="sequence-parallel layout (tp > 1)")
+    p.add_argument("--recompute", default="none",
+                   choices=[r.value for r in
+                            (Recompute.NONE, Recompute.SELECTIVE,
+                             Recompute.FULL)],
+                   help="activation recompute strategy captured in the plan")
+    p.add_argument("--microbatches", type=int, default=1,
+                   help="gradient-accumulation microbatches per step")
+    p.add_argument("--batch", type=int, default=4, help="global batch size")
+    p.add_argument("--steps", type=int, default=4,
+                   help="training steps (1 capture + replays)")
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--trace-out", default=None,
+                   help="write a validated Perfetto trace of one replayed "
+                        "step here")
+    add_json_flag(p)
+    p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser(
         "bench", help="benchmark presets -> BENCH_*.json; --check gates "

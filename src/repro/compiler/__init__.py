@@ -1,0 +1,31 @@
+"""Static-graph step compiler: capture one step, replay forever.
+
+``repro.compiler`` traces one full train (or decode) step through the
+live tape/:class:`~repro.tensor.tensor.FnCtx` machinery and captures it
+as a :class:`StepPlan` — a topologically ordered closure schedule with
+preplanned first-fit arena offsets, a static collective schedule, and
+recompute segments carried as opaque composite calls.  Replaying the
+plan skips tape construction, the autograd graph walk and all per-step
+Python bookkeeping while remaining bitwise-identical to eager mode
+(losses, gradients, generated tokens, tracked peak bytes, priced cost
+model — all byte-for-byte).
+
+Drivers: ``Trainer(compiled=True)``, ``PipelinedGPT(compiled=True)`` and
+``DecodeEngine(compiled=True)`` (the continuous-batching scheduler
+inherits the engine's flag).
+"""
+
+from .cache import PlanCache
+from .capture import CaptureRecorder, PlanRuntime, capture_scope
+from .memplan import MemoryPlan, plan_memory
+from .plan import StepPlan
+
+__all__ = [
+    "CaptureRecorder",
+    "MemoryPlan",
+    "PlanCache",
+    "PlanRuntime",
+    "StepPlan",
+    "capture_scope",
+    "plan_memory",
+]

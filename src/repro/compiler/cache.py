@@ -1,0 +1,54 @@
+"""Plan caching: capture once per (config, layout, shape) key.
+
+Drivers key plans on everything that changes the op stream — the model
+config and layout are implicit in the driver instance; batch shape,
+microbatch count and (for ragged decode) the batch-size bucket are
+explicit key components.  A hit replays; a miss captures eagerly (the
+capture step *is* a correct step, so a miss costs one eager step, never
+a wasted one).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .plan import StepPlan
+
+
+class PlanCache:
+    """A keyed store of :class:`StepPlan` with hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self._plans: Dict[Any, StepPlan] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key) -> Optional[StepPlan]:
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return plan
+
+    def put(self, key, plan: StepPlan) -> None:
+        self._plans[key] = plan
+
+    def plans(self):
+        """All cached plans in insertion order (for stats/introspection)."""
+        return list(self._plans.values())
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key) -> bool:
+        return key in self._plans
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {"plans": len(self._plans), "hits": self.hits,
+                "misses": self.misses}

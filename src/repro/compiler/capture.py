@@ -1,0 +1,401 @@
+"""Capture one step's op stream off the live autograd tape.
+
+The recorder rides the eager machinery: :func:`repro.tensor.tensor.apply`
+and :func:`repro.tensor.tensor.run_backward` call into the hooks below
+while a step executes normally, and every hook appends a *replay closure*
+to the program.  The capture step therefore **is** the step — nothing is
+abstract-interpreted, and step 0 of a compiled run produces exactly the
+numbers an eager step would.
+
+Replay semantics (the levanter/JAX capture-once idiom applied to a tape):
+
+* the capture-time :class:`~repro.tensor.tensor.Tensor` objects are the
+  plan's registers — a forward closure reads ``t.shards`` of its input
+  registers *at call time* and assigns the output register's ``shards``,
+  so parameter updates (the optimizer mutates shards in place) and input
+  rebinding flow through with zero copying;
+* the capture-time :class:`~repro.tensor.tensor.FnCtx` objects are reused
+  verbatim: ``fn.forward`` re-saves into them (charging whatever memory
+  tracker is installed at replay time) and the recorded backward/release
+  closure re-releases them, so :class:`MemoryTracker` output is
+  byte-identical to eager mode;
+* the backward walk is pre-linearized: the pending-gradient dict of
+  ``run_backward`` is mirrored symbolically at capture into a flat list of
+  gradient registers, so replay does no topo sort, no dict operations and
+  no Node bookkeeping — just ``fn.backward`` calls with precompiled
+  source/destination routing;
+* composite functions (``Checkpoint``) suspend recording for their inner
+  ops and replay as a single opaque call: the recompute segment re-executes
+  its region natively in backward (RNG snapshot/restore included), which is
+  exactly what eager mode does, so recompute numerics and the
+  :attr:`Phase.RECOMPUTE` op stream cannot drift.
+
+Because collectives fire their trace hook and ``fctx.log_*`` records from
+*inside* ``forward``/``backward``, replayed steps price through the same
+``KernelCostModel`` and emit byte-identical tracer/metrics artifacts —
+Eq. 1-4 drift between eager and replayed steps is exactly zero.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import CompilerError
+from ..tensor import context as _tctx
+from ..tensor.backend import size_of
+from ..tensor.tensor import Tensor, _accumulate, _zeros_for
+from .plan import StepPlan
+
+
+class PlanRuntime:
+    """Mutable per-replay state shared between a plan and its driver.
+
+    Engine-level side effects that are not tape ops (loss reads, KV-cache
+    writes, tracker swaps, span emission) are captured as *external*
+    closures reading this holder, so one plan serves every step: the
+    driver refreshes the runtime fields, then replays.
+    """
+
+    def __init__(self) -> None:
+        self.losses: List[float] = []
+        self.span_stack: List[Any] = []
+        self.trackers: Optional[list] = None
+        self.request_ids: List[str] = []
+        self.tokens: Any = None
+        self.positions: List[int] = []
+        self.out: Any = None
+        self._prev_memory: List[Any] = []
+
+
+class CaptureRecorder:
+    """Records one step's forward/backward op stream as replay closures."""
+
+    def __init__(self, label: str = "step"):
+        self.label = label
+        self.program: List[Any] = []          # replay closures, in order
+        self.meta: List[Tuple[str, Any]] = []  # (kind, fn_name) per program entry
+        self.gr: List[Any] = []               # gradient registers
+        self.inputs: Dict[Any, Tensor] = {}   # bind key -> input register
+        self._suspend = 0
+        self._nodes: Dict[int, Any] = {}      # id(node) -> node (keeps ids stable)
+        self._sym: Dict[int, List[Optional[int]]] = {}  # id(node) -> grad reg per output
+        self._seed_sources: Dict[int, Tuple] = {}       # id(root tensor) -> source spec
+        # Memory-plan bookkeeping: charges recorded per FnCtx at its
+        # forward op, freed where its release closure lands.
+        self._save_buffer: List[Tuple[int, int, int]] = []  # (rank, bufid, nbytes)
+        self._charges: Dict[int, List[Tuple[int, int, int]]] = {}  # id(fctx) -> charges
+        self._alloc_at: Dict[int, int] = {}   # id(fctx) -> forward op index
+        self._free_at: Dict[int, int] = {}    # id(fctx) -> release op index
+        self._last_state: Optional[Tuple] = None  # (grad_enabled, phase) last emitted
+
+    # -- suspension (composite ops record as one opaque call) ---------------
+    def suspend(self) -> None:
+        self._suspend += 1
+
+    def resume(self) -> None:
+        self._suspend -= 1
+
+    # -- driver-facing surface ----------------------------------------------
+    def bind_input(self, key, tensor: Tensor) -> None:
+        """Mark ``tensor`` as a plan input register rebindable under ``key``."""
+        if key in self.inputs:
+            raise CompilerError(f"duplicate plan input key {key!r}")
+        self.inputs[key] = tensor
+
+    def external(self, closure) -> None:
+        """Record (and immediately run) an engine-level side effect.
+
+        The closure must read all step-varying state from a
+        :class:`PlanRuntime` (or other mutable holder), never from
+        capture-time locals.
+        """
+        closure()
+        if not self._suspend:
+            self.program.append(closure)
+            self.meta.append(("external", getattr(closure, "__name__", "external")))
+
+    def declare_seed_source(self, root: Tensor, source: Tuple) -> None:
+        """Override the gradient source for an upcoming backward seed.
+
+        ``source`` is ``("tgrad", leaf_tensor)`` to read ``leaf.grad`` at
+        replay time (pipeline stage boundaries); the default for
+        undeclared seeds is a constant copy of the capture-time gradient.
+        """
+        if not self._suspend:
+            self._seed_sources[id(root)] = source
+
+    # -- hooks wired into repro.tensor.tensor --------------------------------
+    def on_save(self, fctx, shards, dtype) -> None:
+        """A charged (non-parameter) activation save during capture."""
+        if self._suspend:
+            return
+        for rank, buf in enumerate(shards):
+            self._save_buffer.append((rank, id(buf), size_of(buf) * dtype.nbytes))
+
+    def _emit_state(self) -> None:
+        """Record a grad/phase context switch only when it changes.
+
+        Replay is a linear scan and nothing else mutates these two fields
+        mid-program (composites save/restore internally), so transitions
+        between recorded ops are the only places a store is needed —
+        everything between them replays under the already-set state.
+        """
+        c = _tctx.ctx()
+        state = (c.grad_enabled, c.phase)
+        if state == self._last_state:
+            return
+        self._last_state = state
+        C = _tctx._CTX
+        ge, ph = state
+
+        def op(C=C, ge=ge, ph=ph):
+            C.grad_enabled = ge
+            C.phase = ph
+
+        self.program.append(op)
+        self.meta.append(("state", None))
+
+    def on_apply(self, fn, fctx, args, kwargs, outputs, requires, multi) -> None:
+        if self._suspend:
+            self._save_buffer.clear()
+            return
+        self._emit_state()
+
+        fast = not kwargs and all(isinstance(a, Tensor) for a in args)
+        if not fast:
+            items = tuple(
+                (True, a) if isinstance(a, Tensor) else (False, a) for a in args
+            )
+
+            def run_fwd(fn=fn, fctx=fctx, items=items, kw=dict(kwargs)):
+                return fn.forward(
+                    fctx, *[a.shards if is_t else a for is_t, a in items], **kw
+                )
+
+        if multi:
+            outs = tuple(outputs)
+            if fast:
+                ts = tuple(args)
+
+                def run_fwd(fn=fn, fctx=fctx, ts=ts):
+                    return fn.forward(fctx, *[t.shards for t in ts])
+
+            def op(run=run_fwd, outs=outs, fctx=fctx, requires=requires):
+                for t, s in zip(outs, run()):
+                    t.shards = s
+                if not requires:
+                    fctx.release()
+        elif fast:
+            ts = tuple(args)
+            out0 = outputs[0]
+            if requires:
+                def op(fn=fn, fctx=fctx, ts=ts, out0=out0):
+                    out0.shards = fn.forward(fctx, *[t.shards for t in ts])
+            else:
+                def op(fn=fn, fctx=fctx, ts=ts, out0=out0):
+                    out0.shards = fn.forward(fctx, *[t.shards for t in ts])
+                    fctx.release()
+        else:
+            out0 = outputs[0]
+            if requires:
+                def op(run=run_fwd, out0=out0):
+                    out0.shards = run()
+            else:
+                def op(run=run_fwd, out0=out0, fctx=fctx):
+                    out0.shards = run()
+                    fctx.release()
+
+        index = len(self.program)
+        self.program.append(op)
+        self.meta.append(("forward", fn))
+        if requires:
+            node = outputs[0]._node
+            self._nodes[id(node)] = node
+            saves = self._save_buffer
+            if not saves and fn.composite:
+                # Composite saves happened while recording was suspended;
+                # a checkpoint charges exactly its non-parameter inputs.
+                saves = self._composite_charges(fctx)
+            if saves:
+                self._charges[id(fctx)] = list(saves)
+                self._alloc_at[id(fctx)] = index
+        self._save_buffer.clear()
+
+    def _composite_charges(self, fctx) -> List[Tuple[int, int, int]]:
+        if len(fctx._saved) != len(fctx.inputs):
+            return []
+        rows = []
+        for t, shards in zip(fctx.inputs, fctx._saved):
+            if t is None or t.is_param:
+                continue
+            for rank, buf in enumerate(shards):
+                rows.append((rank, id(buf), size_of(buf) * t.dtype.nbytes))
+        return rows
+
+    def on_backward_begin(self, seeds) -> None:
+        if self._suspend:
+            return
+        for root, grad in seeds:
+            source = self._seed_sources.pop(id(root), None)
+            if source is None:
+                source = ("const", [np.array(g) for g in grad])
+            self._route_into(root._node, root._out_index, self._seed_thunk(source))
+
+    def on_node_pop(self, node):
+        """Mirror ``pending.pop``: gradient source specs for this node.
+
+        Each spec is ``("slot", k)`` — read gradient register ``k`` — or
+        ``("zeros", template)`` for outputs no gradient flowed into.
+        """
+        if self._suspend:
+            return None
+        sym = self._sym.pop(id(node), None)
+        sources = []
+        for i in range(node.n_outputs):
+            if sym is not None and sym[i] is not None:
+                sources.append(("slot", sym[i]))
+            else:
+                sources.append(("zeros", node.out_templates[i]))
+        return sources
+
+    def on_node_release(self, node) -> None:
+        """All-``None`` gradients: eager just releases the saved buffers."""
+        if self._suspend:
+            return
+        fctx = node.fctx
+
+        def op(fctx=fctx):
+            fctx.release()
+
+        self._free_at[id(fctx)] = len(self.program)
+        self.program.append(op)
+        self.meta.append(("release", node.fn))
+
+    def on_node_backward(self, node, sources, grads_in) -> None:
+        if self._suspend:
+            return
+        dests: List[Optional[Tuple]] = []
+        for t, g in zip(node.inputs, grads_in):
+            if t is None or g is None or not t.requires_grad:
+                dests.append(None)
+            elif t._node is None:
+                dests.append(("leaf", t))
+            else:
+                dests.append(self._dest_slot(t._node, t._out_index))
+
+        self._emit_state()
+        fn, fctx = node.fn, node.fctx
+        gr = self.gr
+        dests = tuple(dests)
+
+        if len(sources) == 1 and sources[0][0] == "slot":
+            # The overwhelmingly common shape: one output whose gradient
+            # sits in a register — read it inline, no thunk dispatch.
+            k0 = sources[0][1]
+
+            def op(fn=fn, fctx=fctx, k0=k0, dests=dests, gr=gr):
+                grads_in = fn.backward(fctx, gr[k0])
+                if not isinstance(grads_in, tuple):
+                    grads_in = (grads_in,)
+                for d, g in zip(dests, grads_in):
+                    if d is None:
+                        continue
+                    kind, target = d
+                    if kind == "leaf":
+                        target.grad = _accumulate(target.grad, g)
+                    elif kind == "create":
+                        gr[target] = list(g)
+                    else:
+                        gr[target] = _accumulate(gr[target], g)
+                fctx.release()
+        else:
+            srcs = tuple(sources)
+
+            def op(fn=fn, fctx=fctx, srcs=srcs, dests=dests, gr=gr):
+                grads_in = fn.backward(fctx, *[
+                    gr[payload] if kind == "slot" else _zeros_for(payload)
+                    for kind, payload in srcs
+                ])
+                if not isinstance(grads_in, tuple):
+                    grads_in = (grads_in,)
+                for d, g in zip(dests, grads_in):
+                    if d is None:
+                        continue
+                    kind, target = d
+                    if kind == "leaf":
+                        target.grad = _accumulate(target.grad, g)
+                    elif kind == "create":
+                        gr[target] = list(g)
+                    else:
+                        gr[target] = _accumulate(gr[target], g)
+                fctx.release()
+
+        self._free_at[id(fctx)] = len(self.program)
+        self.program.append(op)
+        self.meta.append(("backward", fn))
+
+    # -- symbolic pending-dict mirror ----------------------------------------
+    def _dest_slot(self, node, out_index: int) -> Tuple[str, int]:
+        sym = self._sym.setdefault(id(node), [None] * node.n_outputs)
+        if sym[out_index] is None:
+            k = len(self.gr)
+            self.gr.append(None)
+            sym[out_index] = k
+            return ("create", k)
+        return ("accum", sym[out_index])
+
+    def _seed_thunk(self, source: Tuple):
+        kind = source[0]
+        if kind == "const":
+            arrs = source[1]
+            return lambda arrs=arrs: [np.array(a) for a in arrs]
+        if kind == "tgrad":
+            leaf = source[1]
+            return lambda leaf=leaf: leaf.grad
+        raise CompilerError(f"unknown seed source {kind!r}")
+
+    def _route_into(self, node, out_index: int, thunk) -> None:
+        gr = self.gr
+        dest = self._dest_slot(node, out_index)
+        kind, k = dest
+        if kind == "create":
+            def op(gr=gr, k=k, thunk=thunk):
+                gr[k] = list(thunk())
+        else:
+            def op(gr=gr, k=k, thunk=thunk):
+                gr[k] = _accumulate(gr[k], thunk())
+
+        op()  # seeds run immediately at capture (mirrors eager insertion)
+        self.program.append(op)
+        self.meta.append(("seed", None))
+
+    # -- finalize -------------------------------------------------------------
+    def finalize(self, runtime: Optional[PlanRuntime] = None) -> StepPlan:
+        from .memplan import plan_memory
+
+        memory = plan_memory(self._charges, self._alloc_at, self._free_at,
+                             len(self.program))
+        return StepPlan(
+            label=self.label,
+            program=tuple(self.program),
+            meta=tuple(self.meta),
+            inputs=dict(self.inputs),
+            runtime=runtime if runtime is not None else PlanRuntime(),
+            memory=memory,
+        )
+
+
+@contextmanager
+def capture_scope(recorder: CaptureRecorder):
+    """Install ``recorder`` on the execution context for one step."""
+    c = _tctx.ctx()
+    if c.capture is not None:
+        raise CompilerError("a step capture is already active")
+    c.capture = recorder
+    try:
+        yield recorder
+    finally:
+        c.capture = None

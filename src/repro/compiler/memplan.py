@@ -1,0 +1,117 @@
+"""Static activation-memory planning for a captured step.
+
+At capture time the recorder observes every charged activation save
+(buffer identity, rank, bytes) together with the program index where the
+owning ``FnCtx`` is released.  Planning replays that lifetime stream —
+per rank, in program order — through the same
+:class:`~repro.allocator.FirstFitAllocator` the fragmentation study uses,
+which yields a *static* arena offset for every buffer and the arena
+high-water mark a replayed step needs.  This is ``allocator.replay``
+applied once at compile time instead of per step.
+
+Buffers are deduplicated by identity within a rank exactly like
+:class:`~repro.tensor.memory_tracker.MemoryTracker` (the Q/K/V
+projections saving one shared input plan a single buffer), so the
+planned peak-live bytes equals the tracker's measured peak for the same
+step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..allocator import FirstFitAllocator, TraceEvent
+
+
+@dataclass
+class MemoryPlan:
+    """Preplanned arena offsets for every charged activation buffer."""
+
+    #: rank -> [(op_index_alloc, op_index_free, offset, nbytes)]
+    placements: Dict[int, List[Tuple[int, int, int, int]]] = field(default_factory=dict)
+    #: max over ranks of the first-fit reserved high-water mark
+    arena_bytes: int = 0
+    #: max over ranks of the live high-water mark (tracker-equivalent peak)
+    peak_live_bytes: int = 0
+    num_buffers: int = 0
+
+    @property
+    def fragmentation(self) -> float:
+        if self.arena_bytes == 0:
+            return 0.0
+        return 1.0 - self.peak_live_bytes / self.arena_bytes
+
+
+def build_trace(charges: Dict[int, List[Tuple[int, int, int]]],
+                alloc_at: Dict[int, int], free_at: Dict[int, int],
+                num_ops: int) -> Dict[int, List[Tuple[int, TraceEvent]]]:
+    """Per-rank ``(op_index, TraceEvent)`` streams from recorded charges.
+
+    ``charges`` maps ``id(fctx)`` to its ``(rank, buffer_id, nbytes)``
+    saves; a context's buffers allocate at its forward op and free where
+    its release closure landed (contexts never released by the program
+    free at ``num_ops`` — the step keeps them live, exactly as eager
+    would).  Refcounts mirror the tracker's identity dedup.
+    """
+    events: Dict[int, List[Tuple[int, int, TraceEvent]]] = {}
+    refcount: Dict[Tuple[int, int], int] = {}
+    sized: Dict[Tuple[int, int], int] = {}
+    timeline: List[Tuple[int, int, int, int, int, str]] = []
+    for fctx_id, saved in charges.items():
+        start = alloc_at[fctx_id]
+        end = free_at.get(fctx_id, num_ops)
+        for rank, buffer_id, nbytes in saved:
+            timeline.append((start, 0, rank, buffer_id, nbytes, "alloc"))
+            timeline.append((end, 1, rank, buffer_id, nbytes, "free"))
+    # Stable program order: allocs at an index precede frees at the same
+    # index only via the tiebreak inherited from eager save/release order.
+    timeline.sort(key=lambda row: (row[0], row[1]))
+    out: Dict[int, List[Tuple[int, TraceEvent]]] = {}
+    for index, _tie, rank, buffer_id, nbytes, kind in timeline:
+        key = (rank, buffer_id)
+        if kind == "alloc":
+            refcount[key] = refcount.get(key, 0) + 1
+            if refcount[key] > 1:
+                continue
+            sized[key] = nbytes
+            out.setdefault(rank, []).append(
+                (index, TraceEvent("alloc", buffer_id, nbytes, "activation")))
+        else:
+            count = refcount.get(key, 0)
+            if count == 0:
+                continue
+            refcount[key] = count - 1
+            if refcount[key] > 0:
+                continue
+            out.setdefault(rank, []).append(
+                (index, TraceEvent("free", buffer_id, sized[key], "activation")))
+    return out
+
+
+def plan_memory(charges: Dict[int, List[Tuple[int, int, int]]],
+                alloc_at: Dict[int, int], free_at: Dict[int, int],
+                num_ops: int) -> MemoryPlan:
+    """First-fit lifetime planning over the captured charge stream."""
+    streams = build_trace(charges, alloc_at, free_at, num_ops)
+    plan = MemoryPlan()
+    for rank, stream in sorted(streams.items()):
+        allocator = FirstFitAllocator()
+        handles: Dict[int, Tuple[int, int, int]] = {}  # buffer_id -> (handle, alloc_idx, nbytes)
+        rows: List[Tuple[int, int, int, int]] = []
+        for index, event in stream:
+            if event.kind == "alloc":
+                handle = allocator.alloc(event.nbytes)
+                handles[event.buffer_id] = (handle, index, event.nbytes)
+                continue
+            handle, alloc_index, nbytes = handles.pop(event.buffer_id)
+            rows.append((alloc_index, index, allocator.offset_of(handle), nbytes))
+            allocator.free(handle)
+        for buffer_id, (handle, alloc_index, nbytes) in handles.items():
+            rows.append((alloc_index, num_ops, allocator.offset_of(handle), nbytes))
+        plan.placements[rank] = sorted(rows)
+        plan.arena_bytes = max(plan.arena_bytes, allocator.stats.peak_reserved_bytes)
+        plan.peak_live_bytes = max(plan.peak_live_bytes,
+                                   allocator.stats.peak_live_bytes)
+        plan.num_buffers += len(rows)
+    return plan

@@ -57,6 +57,10 @@ class ScheduleError(ReproError):
     """Invalid pipeline schedule construction or execution."""
 
 
+class CompilerError(ReproError):
+    """Misuse of the step compiler (nested capture, bad plan binding...)."""
+
+
 class CheckpointCorruptError(ReproError):
     """A checkpoint's content hash does not match its stored checksum."""
 

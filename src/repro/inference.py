@@ -189,12 +189,13 @@ def one_query_attention(num_heads, q, keys, values):
     from .tensor import functions as F
 
     one, b, h = q.shape
-    cur = keys.shape[0]
     a = num_heads
     d = h // a
+    # The context dimension is -1 (not ``keys.shape[0]``) so a compiled
+    # decode plan stays shape-polymorphic as the KV cache grows.
     qr = F.transpose(F.reshape(q, (one, b, a, d)), (1, 2, 0, 3))       # (b,a,1,d)
-    kt = F.transpose(F.reshape(keys, (cur, b, a, d)), (1, 2, 3, 0))    # (b,a,d,cur)
-    vr = F.transpose(F.reshape(values, (cur, b, a, d)), (1, 2, 0, 3))  # (b,a,cur,d)
+    kt = F.transpose(F.reshape(keys, (-1, b, a, d)), (1, 2, 3, 0))     # (b,a,d,cur)
+    vr = F.transpose(F.reshape(values, (-1, b, a, d)), (1, 2, 0, 3))   # (b,a,cur,d)
     scores = F.scale(F.matmul(qr, kt), 1.0 / math.sqrt(d))
     probs = F.softmax(scores)
     ctxt = F.matmul(probs, vr)                                         # (b,a,1,d)

@@ -9,6 +9,7 @@ counting saved bytes reproduces every row of Table 2 exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Optional, Union
 
 from ..config import ExperimentConfig, ModelConfig
@@ -35,8 +36,24 @@ def per_layer_activation_bytes(
     TP + SP + selective recompute   ``sbh 34/t``
     full recompute                  ``2 sbh`` (``2 sbh / t`` with SP)
     ==============================  ======================================
+
+    Memoised on the normalised ``(config, batch, layout, recompute)``
+    key — sweeps and the planner hit the same few cells thousands of
+    times (:class:`ModelConfig` is frozen, so keys are hashable).
     """
-    recompute = Recompute(recompute)
+    return _per_layer_activation_bytes(
+        model, microbatch_size, tensor_parallel, bool(sequence_parallel),
+        Recompute(recompute))
+
+
+@lru_cache(maxsize=4096)
+def _per_layer_activation_bytes(
+    model: ModelConfig,
+    microbatch_size: int,
+    tensor_parallel: int,
+    sequence_parallel: bool,
+    recompute: Recompute,
+) -> float:
     s, b, h, a = model.seq_length, microbatch_size, model.hidden_size, model.num_heads
     t = tensor_parallel
     if t < 1:
@@ -68,8 +85,23 @@ def per_layer_breakdown(
     sequence_parallel: bool = False,
     recompute: RecomputeLike = Recompute.NONE,
 ) -> Dict[str, float]:
-    """Per-layer bytes split into the paper's Section 4.1 constituents."""
-    recompute = Recompute(recompute)
+    """Per-layer bytes split into the paper's Section 4.1 constituents.
+
+    Memoised like :func:`per_layer_activation_bytes`; callers get a fresh
+    dict each time so the cached entry cannot be mutated."""
+    return dict(_per_layer_breakdown(
+        model, microbatch_size, tensor_parallel, bool(sequence_parallel),
+        Recompute(recompute)))
+
+
+@lru_cache(maxsize=4096)
+def _per_layer_breakdown(
+    model: ModelConfig,
+    microbatch_size: int,
+    tensor_parallel: int,
+    sequence_parallel: bool,
+    recompute: Recompute,
+) -> Dict[str, float]:
     s, b, h, a = model.seq_length, microbatch_size, model.hidden_size, model.num_heads
     t = tensor_parallel
     sbh = float(s * b * h)
@@ -115,11 +147,24 @@ def per_layer_term_groups(
     Same total as :func:`per_layer_breakdown`, regrouped so each group
     corresponds exactly to a set of measured tracker categories
     (:func:`term_group_categories`) — the basis of the per-term drift
-    check in :mod:`repro.observability.analysis`.
+    check in :mod:`repro.observability.analysis`.  Memoised like
+    :func:`per_layer_activation_bytes`; returns a fresh dict each call.
     """
-    recompute = Recompute(recompute)
-    bd = per_layer_breakdown(model, microbatch_size, tensor_parallel,
-                             sequence_parallel, recompute)
+    return dict(_per_layer_term_groups(
+        model, microbatch_size, tensor_parallel, bool(sequence_parallel),
+        Recompute(recompute)))
+
+
+@lru_cache(maxsize=4096)
+def _per_layer_term_groups(
+    model: ModelConfig,
+    microbatch_size: int,
+    tensor_parallel: int,
+    sequence_parallel: bool,
+    recompute: Recompute,
+) -> Dict[str, float]:
+    bd = _per_layer_breakdown(model, microbatch_size, tensor_parallel,
+                              sequence_parallel, recompute)
     if recompute in (Recompute.FULL, Recompute.FULL_SHARDED):
         return {"checkpoint_input": bd["checkpoint_input"]}
     core_mask = ATTN_CORE_MASK_FRACTION * bd["attn_core"]

@@ -68,9 +68,19 @@ TOLERANCES: Tuple[Tuple[str, Tuple[str, float]], ...] = (
     ("counts.", ("exact", 0)),
     ("timing.serial_speedup", ("floor", 1.5)),
     ("timing.tensor_parallel_speedup", ("floor", 1.5)),
+    # Replaying a captured plan must beat re-running the eager tape by
+    # 2x on a tape-overhead-bound op chain (raw seconds are
+    # machine-specific and ignored; the ratio is stable because the two
+    # sides are timed interleaved).
+    ("timing.compiled_chain_speedup", ("floor", 2.0)),
     ("timing.", ("ignore", 0.0)),
     ("fusion.", ("exact", 0)),
     ("arena.", ("exact", 0)),
+    # The step compiler's captured plan is a static artifact: op counts,
+    # collective schedule length, planned arena bytes, cache accounting
+    # and the replay-vs-eager loss drift (always exactly 0.0) may not
+    # move without an intentional change.
+    ("compiler.", ("exact", 0)),
     ("memory.fused_drift", ("exact", 0)),
     ("memory.peak_bytes", ("exact", 0)),
     ("memory.drift", ("abs", 1.0)),
@@ -334,6 +344,14 @@ def _run_substrate_preset(seed_value: int, steps: int) -> dict:
     unfused (exact), zero per-term Eq. 1-4 drift with fusion on (exact),
     and the fused run's trace hash (exact — byte-identical determinism
     at equal seeds, fused spans included).
+
+    The preset also gates the static-graph step compiler
+    (:mod:`repro.compiler`): replaying a captured plan must beat the
+    eager tape by 2x on a tape-overhead-bound elementwise chain
+    (``timing.compiled_chain_speedup``, floor), the captured train
+    plan's op schedule / collective count / planned arena bytes are
+    exact, and the compiled-vs-eager loss drift on the real model is an
+    exact 0.0.
     """
     import time
 
@@ -433,6 +451,82 @@ def _run_substrate_preset(seed_value: int, steps: int) -> dict:
         for _ in range(steps):
             trainer.train_step(ids, targets)
 
+    # -- static-graph step compiler (repro.compiler) ---------------------
+    import gc
+
+    import numpy as np
+
+    from ..compiler import CaptureRecorder, PlanRuntime, capture_scope
+    from ..tensor import Tensor
+    from ..tensor import functions as F
+
+    # (a) Bitwise replay parity on the real model: compiled and eager
+    # twins see identical per-step RNG, so the max |loss delta| is an
+    # exact 0.0 — any drift means the capture diverged from the tape.
+    def _twin(compiled: bool) -> Trainer:
+        seed(seed_value)
+        model = GPTModel(model_cfg, seed=0)
+        return Trainer(model, Adam(model.parameters(), lr=1e-3),
+                       compiled=compiled)
+
+    twin_compiled, twin_eager = _twin(True), _twin(False)
+    ids, targets = _data()
+    replay_drift = 0.0
+    for step in range(3):
+        seed(seed_value + 100 + step)
+        loss_compiled = twin_compiled.train_step(ids, targets)
+        seed(seed_value + 100 + step)
+        loss_eager = twin_eager.train_step(ids, targets)
+        replay_drift = max(replay_drift, abs(loss_compiled - loss_eager))
+    train_plan = twin_compiled.plans.plans()[0]
+    cache_stats = dict(twin_compiled.plans.stats())
+
+    # (b) The gated replay speedup.  A deep elementwise chain is
+    # tape-overhead-bound (the regime the compiler exists for: tiny
+    # kernels under a Python tape), so replay-vs-eager measures the
+    # eliminated bookkeeping rather than numpy kernel time.  The GPT
+    # step, whose numpy bodies dominate, is reported unguarded below.
+    chain_depth = 200
+    rng = np.random.default_rng(seed_value)
+    chain_x = Tensor([rng.standard_normal((4, 4))])
+    chain_w = Tensor([rng.standard_normal((4, 4))])
+    chain_b = Tensor([rng.standard_normal((4, 4))])
+
+    def _chain_step():
+        y = chain_x
+        for _ in range(chain_depth):
+            y = F.scale(F.add(F.mul(y, chain_w), chain_b), 0.999)
+        return y
+
+    chain_recorder = CaptureRecorder("substrate_chain")
+    with capture_scope(chain_recorder):
+        chain_recorder.bind_input("x", chain_x)
+        _chain_step()
+    chain_plan = chain_recorder.finalize(runtime=PlanRuntime())
+
+    def _best_of(pairs: List) -> List[float]:
+        """Interleaved best-of timing (same discipline as _time_pair)."""
+        reps = max(9, steps)
+        best = [float("inf")] * len(pairs)
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(reps):
+                for i, fn in enumerate(pairs):
+                    t0 = time.perf_counter()
+                    fn()
+                    best[i] = min(best[i], time.perf_counter() - t0)
+        finally:
+            if was_enabled:
+                gc.enable()
+        return best
+
+    chain_eager_s, chain_replay_s = _best_of(
+        [_chain_step, chain_plan.replay])
+    train_eager_s, train_replay_s = _best_of(
+        [lambda: twin_eager.train_step(ids, targets),
+         lambda: twin_compiled.train_step(ids, targets)])
+
     doc = _base_doc("substrate", seed_value, steps, model_cfg, tp, 1)
     doc["timing"] = {
         "serial_unfused_s": serial_unfused,
@@ -441,6 +535,22 @@ def _run_substrate_preset(seed_value: int, steps: int) -> dict:
         "tensor_parallel_unfused_s": tp_unfused,
         "tensor_parallel_fused_s": tp_fused,
         "tensor_parallel_speedup": tp_unfused / tp_fused,
+        "compiled_chain_eager_s": chain_eager_s,
+        "compiled_chain_replay_s": chain_replay_s,
+        "compiled_chain_speedup": chain_eager_s / chain_replay_s,
+        "compiled_train_eager_s": train_eager_s,
+        "compiled_train_replay_s": train_replay_s,
+        "compiled_train_speedup": train_eager_s / train_replay_s,
+    }
+    doc["compiler"] = {
+        "train_plan_ops": train_plan.num_ops,
+        "train_plan_op_counts": train_plan.op_counts(),
+        "train_plan_collectives": len(train_plan.collective_schedule()),
+        "train_plan_arena_bytes": train_plan.memory.arena_bytes,
+        "train_plan_buffers": train_plan.memory.num_buffers,
+        "chain_plan_ops": chain_plan.num_ops,
+        "cache": cache_stats,
+        "replay_loss_drift": replay_drift,
     }
     doc["fusion"] = {
         "records_unfused": len(log_unfused.records),

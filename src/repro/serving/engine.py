@@ -31,6 +31,7 @@ from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..compiler import CaptureRecorder, PlanCache, PlanRuntime, capture_scope
 from ..errors import ConfigError
 from ..inference import evaluation, one_query_attention
 from ..layers.embedding import token_tensor
@@ -40,16 +41,76 @@ from ..parallel.mappings import reduce_from_tensor_parallel_region
 from ..parallel.transformer import ParallelGPTModel
 from ..tensor import FP16, FP32, Tensor, no_grad
 from ..tensor import functions as F
+from ..tensor.context import ctx as execution_context
 from ..tensor.tensor import apply
 from .kv_cache import KVAdmissionFull, KVCacheFull, KVStepFull, PagedKVCache
 
 AnyGPT = Union[GPTModel, ParallelGPTModel]
 
 
-class DecodeEngine:
-    """Prefill/decode executor binding one model to one paged KV cache."""
+# -- compiled-mode external closures -----------------------------------------
+# A compiled decode plan is shape-polymorphic in the context length but
+# fixed in batch size; everything that varies between replays of the same
+# batch-size bucket (which requests, which slots, how long each context)
+# is read from the engine's :class:`PlanRuntime` holder at call time.
 
-    def __init__(self, model: AnyGPT, cache: PagedKVCache):
+def _rebind_pos(rt: PlanRuntime, engine: "DecodeEngine", pos_t: Tensor):
+    def rebind():
+        pos_t.shards = [
+            np.asarray(shard)[rt.positions, 0, :][None]
+            for shard in engine.model.embedding.position.shards
+        ]
+    return rebind
+
+
+def _cache_writes(rt: PlanRuntime, cache: PagedKVCache, k_t: Tensor,
+                  v_t: Tensor, layer: int, world: int):
+    def write():
+        for rank in range(world):
+            k_arr = np.asarray(k_t.shards[rank])
+            v_arr = np.asarray(v_t.shards[rank])
+            for j, request_id in enumerate(rt.request_ids):
+                cache.write(request_id, layer, rank, rt.positions[j],
+                            k_arr[0, j], v_arr[0, j])
+    return write
+
+
+def _gather_kv(rt: PlanRuntime, cache: PagedKVCache, k_t: Tensor,
+               v_t: Tensor, j: int, layer: int, world: int):
+    def gather():
+        keys, values = [], []
+        for rank in range(world):
+            k, v = cache.gather(rt.request_ids[j], layer, rank)
+            keys.append(k[:, None, :])
+            values.append(v[:, None, :])
+        k_t.shards = keys
+        v_t.shards = values
+    return gather
+
+
+def _store_logits(rt: PlanRuntime, logits_t: Tensor, parallel: bool):
+    def store():
+        if parallel:
+            rt.out = np.concatenate(
+                [np.asarray(s)[0] for s in logits_t.shards], axis=-1)
+        else:
+            rt.out = np.asarray(logits_t.shards[0])[0]
+    return store
+
+
+class DecodeEngine:
+    """Prefill/decode executor binding one model to one paged KV cache.
+
+    ``compiled=True`` captures the first decode step per batch size
+    through :mod:`repro.compiler` and replays the static plan for every
+    later step of that ragged-batch bucket — token-identical logits with
+    no per-step tape construction.  Prefill reuses the ``B=1`` bucket.
+    A :class:`~repro.serving.scheduler.ContinuousBatchingScheduler`
+    inherits the flag from the engine it drives.
+    """
+
+    def __init__(self, model: AnyGPT, cache: PagedKVCache,
+                 compiled: bool = False):
         world = getattr(getattr(model, "group", None), "size", 1)
         if cache.world != world:
             raise ConfigError(
@@ -63,6 +124,11 @@ class DecodeEngine:
         self.world = world
         self.parallel = isinstance(model, ParallelGPTModel)
         self.max_context = model.config.seq_length
+        self.compiled = compiled
+        self.plans = PlanCache()
+        #: step-varying state shared by every plan's externals (decode
+        #: steps are serial, so one holder serves all batch-size buckets)
+        self._rt = PlanRuntime()
 
     # -- request lifecycle (thin cache passthroughs) -----------------------
     def context_length(self, request_id: str) -> int:
@@ -115,7 +181,28 @@ class DecodeEngine:
                     "sequence length")
         positions = [self.cache.reserve_token(r) for r in request_ids]
         with no_grad(), evaluation(self.model):
+            c = execution_context()
+            if self.compiled and c.memprof is None and c.capture is None:
+                return self._decode_compiled(list(request_ids), tokens,
+                                             positions)
             return self._forward(list(request_ids), tokens, positions)
+
+    def _decode_compiled(self, request_ids: List[str], tokens: np.ndarray,
+                         positions: List[int]) -> np.ndarray:
+        rt = self._rt
+        rt.request_ids = request_ids
+        rt.positions = positions
+        key = ("decode", len(request_ids))
+        plan = self.plans.get(key)
+        if plan is None:
+            recorder = CaptureRecorder(f"decode_step[B={len(request_ids)}]")
+            with capture_scope(recorder):
+                out = self._forward(request_ids, tokens, positions)
+            self.plans.put(key, recorder.finalize(runtime=rt))
+            return out
+        plan.bind("ids", token_tensor(tokens[None, :], world=self.world).shards)
+        plan.replay()
+        return rt.out
 
     def finish(self, request_id: str) -> None:
         self.cache.free_request(request_id)
@@ -149,13 +236,23 @@ class DecodeEngine:
     def _forward(self, request_ids: List[str], tokens: np.ndarray,
                  positions: List[int]) -> np.ndarray:
         model = self.model
+        cap = execution_context().capture
+        rt = self._rt if cap is not None else None
+        if cap is not None:
+            rt.request_ids = request_ids
+            rt.positions = positions
         ids = token_tensor(tokens[None, :], world=self.world)
+        if cap is not None:
+            cap.bind_input("ids", ids)
         if self.parallel:
             partial = apply(VocabParallelLookup(), model.embedding.word, ids)
             x = reduce_from_tensor_parallel_region(partial, model.group)
         else:
             x = F.embedding(model.embedding.word, ids)
-        x = F.add(x, self._position_rows(positions))
+        pos = self._position_rows(positions)
+        if cap is not None:
+            cap.external(_rebind_pos(rt, self, pos))
+        x = F.add(x, pos)
 
         for index, layer in enumerate(model.layers):
             h = layer.ln1(x)
@@ -168,15 +265,23 @@ class DecodeEngine:
                 q, k, v = (layer.attn.wq(h), layer.attn.wk(h),
                            layer.attn.wv(h))
                 heads = layer.attn.num_heads
-            for rank in range(self.world):
-                k_arr = np.asarray(k.shards[rank])
-                v_arr = np.asarray(v.shards[rank])
-                for j, request_id in enumerate(request_ids):
-                    self.cache.write(request_id, index, rank, positions[j],
-                                     k_arr[0, j], v_arr[0, j])
+            if cap is not None:
+                # Executes now (the capture is the step) and at replay.
+                cap.external(_cache_writes(rt, self.cache, k, v, index,
+                                           self.world))
+            else:
+                for rank in range(self.world):
+                    k_arr = np.asarray(k.shards[rank])
+                    v_arr = np.asarray(v.shards[rank])
+                    for j, request_id in enumerate(request_ids):
+                        self.cache.write(request_id, index, rank, positions[j],
+                                         k_arr[0, j], v_arr[0, j])
             parts = []
             for j, request_id in enumerate(request_ids):
                 keys, values = self._cached_kv(request_id, index)
+                if cap is not None:
+                    cap.external(_gather_kv(rt, self.cache, keys, values, j,
+                                            index, self.world))
                 q_j = F.slice_axis(q, 1, j, j + 1)
                 parts.append(one_query_attention(heads, q_j, keys, values))
             ctxt = parts[0] if len(parts) == 1 else F.concat(parts, axis=1)
@@ -201,7 +306,12 @@ class DecodeEngine:
         if self.parallel:
             z = model.head.ln_f(x)
             logits = F.cast(F.matmul(z, model.head.proj.weight), FP32)
+        else:
+            logits = model.head.logits(x)
+        if cap is not None:
+            cap.external(_store_logits(rt, logits, self.parallel))
+            return rt.out
+        if self.parallel:
             return np.concatenate(
                 [np.asarray(s)[0] for s in logits.shards], axis=-1)
-        logits = model.head.logits(x)
         return np.asarray(logits.shards[0])[0]

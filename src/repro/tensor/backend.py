@@ -98,6 +98,10 @@ def is_abstract(x) -> bool:
 
 
 def shape_of(x) -> Shape:
+    # Exact-type check first: concrete ndarrays dominate every hot path
+    # and ``type() is`` skips the mro walk isinstance pays.
+    if type(x) is np.ndarray:
+        return x.shape
     if isinstance(x, AbstractArray):
         return x.shape
     if isinstance(x, np.ndarray):
@@ -108,6 +112,8 @@ def shape_of(x) -> Shape:
 
 
 def size_of(x) -> int:
+    if type(x) is np.ndarray:
+        return x.size
     return int(math.prod(shape_of(x)))
 
 

@@ -36,6 +36,11 @@ class Checkpoint(Function):
     """Tape node for a recomputed region. Saves only the region's inputs."""
 
     name = "checkpoint"
+    #: The step compiler records a checkpoint as one opaque plan op: its
+    #: inner forward ops (run under ``no_grad``) and its backward
+    #: recompute re-execute natively at replay, preserving the RNG
+    #: snapshot/restore contract and the ``Phase.RECOMPUTE`` op stream.
+    composite = True
 
     def __init__(self, fn: Callable[..., Union[Tensor, Tuple[Tensor, ...]]], label: str = ""):
         self.fn = fn

@@ -34,6 +34,10 @@ class ExecutionContext:
     #: Installed by :func:`repro.observability.memprof.install_memprof`;
     #: ``None`` (profiling off) keeps every hook site a single identity check.
     memprof: Optional[object] = None
+    #: Installed by :func:`repro.compiler.capture.capture_scope` while a
+    #: :class:`~repro.compiler.capture.CaptureRecorder` is tracing one step;
+    #: ``None`` (not capturing) keeps every hook site a single identity check.
+    capture: Optional[object] = None
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
 
 

@@ -215,11 +215,14 @@ class FnCtx:
             return len(self._saved) - 1
         self._saved.append(list(shards))
         if charge:
-            tracker = ctx().memory
+            c = ctx()
+            tracker = c.memory
             if tracker is not None:
                 for rank, buf in enumerate(shards):
                     tracker.save(rank, buf, dtype, category)
                     self._charges.append((rank, buf, dtype))
+            if c.capture is not None:
+                c.capture.on_save(self, shards, dtype)
         return len(self._saved) - 1
 
     def saved(self, slot: int) -> ShardList:
@@ -295,6 +298,10 @@ class Function:
     """
 
     name = "fn"
+    #: Composite functions (e.g. ``Checkpoint``) run other functions
+    #: inside their ``forward``/``backward``; the step compiler records
+    #: them as one opaque call instead of re-recording their inner ops.
+    composite = False
 
     def forward(self, fctx: FnCtx, *args):  # pragma: no cover - abstract
         raise NotImplementedError
@@ -330,15 +337,25 @@ def apply(fn: Function, *args, **kwargs) -> Union[Tensor, Tuple[Tensor, ...]]:
     tensor_inputs: List[Optional[Tensor]] = [a if isinstance(a, Tensor) else None for a in args]
     fwd_args = [a.shards if isinstance(a, Tensor) else a for a in args]
     fctx = FnCtx(tensor_inputs)
-    mp = ctx().memprof
-    if mp is None:
-        out = fn.forward(fctx, *fwd_args, **kwargs)
-    else:
-        frame = mp.begin_op(fn.name, tensor_inputs)
-        try:
+    c = ctx()
+    mp = c.memprof
+    cap = c.capture
+    if cap is not None and fn.composite:
+        # Composite ops replay as one opaque call; don't record the inner
+        # function applications their forward runs.
+        cap.suspend()
+    try:
+        if mp is None:
             out = fn.forward(fctx, *fwd_args, **kwargs)
-        finally:
-            mp.end_op()
+        else:
+            frame = mp.begin_op(fn.name, tensor_inputs)
+            try:
+                out = fn.forward(fctx, *fwd_args, **kwargs)
+            finally:
+                mp.end_op()
+    finally:
+        if cap is not None and fn.composite:
+            cap.resume()
 
     multi = isinstance(out, tuple)
     out_lists = list(out) if multi else [out]
@@ -363,6 +380,9 @@ def apply(fn: Function, *args, **kwargs) -> Union[Tensor, Tuple[Tensor, ...]]:
     else:
         # Forward-only: drop any tracker charges immediately.
         fctx.release()
+
+    if cap is not None:
+        cap.on_apply(fn, fctx, args, kwargs, outputs, requires, multi)
 
     return tuple(outputs) if multi else outputs[0]
 
@@ -394,6 +414,7 @@ def run_backward(seeds: Sequence[Tuple[Tensor, ShardList]]) -> None:
     """
     pending: dict = {}  # id(node) -> List[Optional[ShardList]] per output
     roots: List[Node] = []
+    cap = ctx().capture
     for root, grad in seeds:
         if root._node is None:
             raise AutogradError("seed tensor has no producing node")
@@ -406,6 +427,8 @@ def run_backward(seeds: Sequence[Tuple[Tensor, ShardList]]) -> None:
             else list(grad)
         )
         roots.append(root._node)
+    if cap is not None:
+        cap.on_backward_begin(seeds)
 
     # Iterative topological sort over nodes reachable from any seed.
     topo: List[Node] = []
@@ -436,12 +459,24 @@ def run_backward(seeds: Sequence[Tuple[Tensor, ShardList]]) -> None:
             grads_out = pending.pop(id(node), [None] * node.n_outputs)
             if all(g is None for g in grads_out):
                 node.fctx.release()
+                if cap is not None:
+                    cap.on_node_release(node)
                 continue
+            sources = cap.on_node_pop(node) if cap is not None else None
             grads_out = [
                 g if g is not None else _zeros_for(node.out_templates[i])
                 for i, g in enumerate(grads_out)
             ]
-            grads_in = node.fn.backward(node.fctx, *grads_out)
+            if cap is not None and node.fn.composite:
+                # Composite backward (checkpoint recompute) replays as one
+                # opaque call; don't record its inner re-execution.
+                cap.suspend()
+                try:
+                    grads_in = node.fn.backward(node.fctx, *grads_out)
+                finally:
+                    cap.resume()
+            else:
+                grads_in = node.fn.backward(node.fctx, *grads_out)
             if not isinstance(grads_in, tuple):
                 grads_in = (grads_in,)
             n_tensor_inputs = len(node.inputs)
@@ -450,6 +485,8 @@ def run_backward(seeds: Sequence[Tuple[Tensor, ShardList]]) -> None:
                     f"{node.fn.name}.backward returned {len(grads_in)} grads "
                     f"for {n_tensor_inputs} inputs"
                 )
+            if cap is not None:
+                cap.on_node_backward(node, sources, grads_in)
             for t, g in zip(node.inputs, grads_in):
                 if t is None or g is None:
                     continue

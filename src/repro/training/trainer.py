@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..comm.collectives import active_fault_injector
+from ..compiler import CaptureRecorder, PlanCache, PlanRuntime, capture_scope
 from ..errors import CollectiveTimeout, ConfigError, CorruptionDetected, ScheduleError
 from ..observability.tracer import active_tracer, span_or_null
 from ..layers.embedding import token_tensor
@@ -34,7 +35,84 @@ from ..layers.transformer import Recompute
 from ..parallel.transformer import ParallelGPTModel
 from ..pipeline_sim.schedule import Op, OpKind, schedule_interleaved
 from ..tensor import MemoryTracker, Tensor, instrument
+from ..tensor.context import ctx as execution_context
 from .optimizer import Adam
+
+
+# -- compiled-mode external closures -----------------------------------------
+# Engine-level side effects (spans, loss reads, tracker swaps, boundary
+# copies) are recorded as plan externals.  Each closure reads *all*
+# step-varying state dynamically — the active tracer, the runtime holder,
+# a register's current shards — so one plan serves every subsequent step
+# and emits byte-identical artifacts whether or not a tracer is installed
+# at replay time.
+
+def _span_begin(name: str, **args):
+    def begin():
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.begin_span(name, "train", None, **args)
+    return begin
+
+
+def _span_end():
+    def end():
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.end_span()
+    return end
+
+
+def _append_item(sink: list, tensor: Tensor):
+    def append():
+        sink.append(tensor.item())
+    return append
+
+
+def _pipe_span_begin(rt: PlanRuntime, kind: str, mb: int, group: int, rank: int):
+    def begin():
+        tracer = active_tracer()
+        if tracer is None:
+            rt.span_stack.append(None)
+            return
+        scope = tracer.rank_scope(rank)
+        scope.__enter__()
+        span = tracer.span(f"{kind} mb{mb} g{group}", rank=rank,
+                           microbatch=mb, group=group)
+        span.__enter__()
+        rt.span_stack.append((span, scope))
+    return begin
+
+
+def _pipe_span_end(rt: PlanRuntime):
+    def end():
+        top = rt.span_stack.pop()
+        if top is not None:
+            span, scope = top
+            span.__exit__(None, None, None)
+            scope.__exit__(None, None, None)
+    return end
+
+
+def _mem_push(rt: PlanRuntime, rank: int):
+    def push():
+        c = execution_context()
+        rt._prev_memory.append(c.memory)
+        c.memory = rt.trackers[rank]
+    return push
+
+
+def _mem_pop(rt: PlanRuntime):
+    def pop():
+        execution_context().memory = rt._prev_memory.pop()
+    return pop
+
+
+def _leaf_rebind(leaf: Tensor, prev: Tensor):
+    def rebind():
+        leaf.shards = [np.asarray(s).copy() for s in prev.shards]
+        leaf.grad = None
+    return rebind
 
 
 def split_microbatches(ids: np.ndarray, targets: np.ndarray,
@@ -79,18 +157,30 @@ def run_step_with_retries(step_fn, max_retries: int = 3,
 
 
 class Trainer:
-    """Gradient-accumulation training of a (serial or parallel) GPT."""
+    """Gradient-accumulation training of a (serial or parallel) GPT.
+
+    ``compiled=True`` captures the first step per ``(config, batch shape,
+    num_microbatches)`` key through :mod:`repro.compiler` and replays the
+    static plan on every later step — bitwise-identical losses, gradients
+    and tracked memory, with no per-step tape construction.  The memory
+    profiler needs the live tape's op frames, so steps taken while a
+    memprof is installed fall back to eager execution.
+    """
 
     def __init__(self, model: Module, optimizer: Optional[Adam] = None,
-                 lr: float = 1e-3):
+                 lr: float = 1e-3, compiled: bool = False):
         self.model = model
         self.optimizer = optimizer or Adam(model.parameters(), lr=lr)
         self.world = getattr(getattr(model, "group", None), "size", 1)
         self.steps_completed = 0
+        self.compiled = compiled
+        self.plans = PlanCache()
 
     def train_step(self, ids: np.ndarray, targets: np.ndarray,
                    num_microbatches: int = 1) -> float:
         """One iteration: accumulate grads over microbatches, then step."""
+        if self.compiled and execution_context().memprof is None:
+            return self._train_step_compiled(ids, targets, num_microbatches)
         tracer = active_tracer()
         self.optimizer.zero_grad()
         total = 0.0
@@ -116,6 +206,66 @@ class Trainer:
             tracer.metrics.counter(
                 "repro_train_steps_total", "completed optimizer steps").inc()
         return total / num_microbatches
+
+    # -- compiled mode -------------------------------------------------------
+    def _plan_key(self, ids: np.ndarray, targets: np.ndarray,
+                  num_microbatches: int):
+        return (getattr(self.model, "config", None), type(self.model).__name__,
+                ids.shape, targets.shape, num_microbatches)
+
+    def _train_step_compiled(self, ids: np.ndarray, targets: np.ndarray,
+                             num_microbatches: int) -> float:
+        tracer = active_tracer()
+        self.optimizer.zero_grad()
+        key = self._plan_key(ids, targets, num_microbatches)
+        plan = self.plans.get(key)
+        with span_or_null(tracer, "step", step=self.steps_completed):
+            if plan is None:
+                plan = self._capture_step_plan(ids, targets, num_microbatches)
+                self.plans.put(key, plan)
+            else:
+                rt = plan.runtime
+                rt.losses.clear()
+                for mb, (mb_ids, mb_targets) in enumerate(
+                        split_microbatches(ids, targets, num_microbatches)):
+                    plan.bind(("ids", mb),
+                              token_tensor(mb_ids, world=self.world).shards)
+                    plan.bind(("targets", mb),
+                              token_tensor(mb_targets, world=self.world).shards)
+                plan.replay()
+            total = sum(plan.runtime.losses, 0.0)
+            if isinstance(self.model, ParallelGPTModel):
+                with span_or_null(tracer, "grad_sync"):
+                    self.model.finish_grad_sync()
+            with span_or_null(tracer, "optimizer.step"):
+                self.optimizer.step()
+        self.steps_completed += 1
+        if tracer is not None and tracer.metrics is not None:
+            tracer.metrics.counter(
+                "repro_train_steps_total", "completed optimizer steps").inc()
+        return total / num_microbatches
+
+    def _capture_step_plan(self, ids: np.ndarray, targets: np.ndarray,
+                           num_microbatches: int):
+        """Trace one eager step (the capture *is* the step) into a plan."""
+        recorder = CaptureRecorder(label="train_step")
+        rt = PlanRuntime()
+        with capture_scope(recorder):
+            for mb, (mb_ids, mb_targets) in enumerate(
+                    split_microbatches(ids, targets, num_microbatches)):
+                ids_t = token_tensor(mb_ids, world=self.world)
+                targets_t = token_tensor(mb_targets, world=self.world)
+                recorder.bind_input(("ids", mb), ids_t)
+                recorder.bind_input(("targets", mb), targets_t)
+                recorder.external(_span_begin("forward", microbatch=mb))
+                loss = self.model(ids_t, targets_t)
+                recorder.external(_span_end())
+                seed = [np.asarray(1.0 / num_microbatches)] * loss.world
+                recorder.external(_span_begin("backward", microbatch=mb))
+                loss.backward(seed)
+                recorder.external(_span_end())
+                recorder.external(_append_item(rt.losses, loss))
+        return recorder.finalize(runtime=rt)
 
     def train_step_with_retry(self, ids: np.ndarray, targets: np.ndarray,
                               num_microbatches: int = 1, max_retries: int = 3,
@@ -179,7 +329,7 @@ class PipelinedGPT:
     """
 
     def __init__(self, model: ParallelGPTModel, pipeline_parallel: int,
-                 interleave_stages: int = 1):
+                 interleave_stages: int = 1, compiled: bool = False):
         L = len(model.layers)
         self.num_groups = pipeline_parallel * interleave_stages
         if L % self.num_groups != 0:
@@ -192,6 +342,8 @@ class PipelinedGPT:
         self.group_layers = [
             model.layers[g * per:(g + 1) * per] for g in range(self.num_groups)
         ]
+        self.compiled = compiled
+        self.plans = PlanCache()
 
     # -- stage execution ------------------------------------------------------
     def _run_group(self, group: int, x: Tensor, targets: Optional[Tensor],
@@ -222,10 +374,28 @@ class PipelinedGPT:
         activation bytes (max over that rank's tensor-parallel shards) and,
         under microbatch-level recomputation, how many microbatches ran
         without checkpointing per rank."""
-        world = self.model.group.size
-        microbatches = split_microbatches(ids, targets, num_microbatches)
+        if self.compiled and execution_context().memprof is None:
+            return self._train_step_compiled(ids, targets, num_microbatches,
+                                             trackers, full_storage_slots)
         if trackers is None:
             trackers = [MemoryTracker() for _ in range(self.p)]
+        losses, stored_full = self._run_schedule(
+            ids, targets, num_microbatches, trackers, full_storage_slots,
+            None, None)
+        return self._finish_step(losses, trackers, stored_full)
+
+    def _run_schedule(self, ids: np.ndarray, targets: np.ndarray,
+                      num_microbatches: int, trackers: List[MemoryTracker],
+                      full_storage_slots: Optional[List[int]],
+                      recorder, rt) -> Tuple[List[float], List[int]]:
+        """Drive the (interleaved) 1F1B schedule once.
+
+        With a ``recorder`` installed this is the capture step: tape ops
+        record through the context hooks while engine-level effects
+        (tracker swaps, boundary copies, spans, loss reads) are emitted as
+        plan externals reading the :class:`PlanRuntime` holder."""
+        world = self.model.group.size
+        microbatches = split_microbatches(ids, targets, num_microbatches)
         slots = list(full_storage_slots) if full_storage_slots else [0] * self.p
 
         schedule = schedule_interleaved(self.p, num_microbatches, self.m)
@@ -233,7 +403,7 @@ class PipelinedGPT:
         outputs: Dict[Tuple[int, int], Tensor] = {}      # (mb, group) -> output
         inputs: Dict[Tuple[int, int], Tensor] = {}       # (mb, group) -> boundary leaf
         backward_done: set = set()
-        losses: List[float] = []
+        losses: List[float] = rt.losses if rt is not None else []
         # Appendix C moving window state, per pipeline rank.
         slots_in_use = [0] * self.p
         full_microbatches: List[set] = [set() for _ in range(self.p)]
@@ -251,57 +421,89 @@ class PipelinedGPT:
 
         tracer = active_tracer()
 
-        def run_op(op: Op, rank: int) -> None:
+        def exec_op(op: Op, rank: int) -> None:
             mb, group = op.microbatch, op.group
-            with instrument(memory=trackers[rank]):
-                if op.kind == OpKind.F:
-                    # Moving window: claim a full-storage slot for a new
-                    # microbatch if one is free.
-                    if mb not in full_microbatches[rank] and slots_in_use[rank] < slots[rank]:
-                        slots_in_use[rank] += 1
-                        full_microbatches[rank].add(mb)
-                        stored_full_count[rank] += 1
-                    store_full = mb in full_microbatches[rank]
-                    if group == 0:
-                        x = token_tensor(microbatches[mb][0], world=world)
-                    else:
-                        prev = outputs[(mb, group - 1)]
-                        leaf = Tensor([np.asarray(s).copy() for s in prev.shards],
-                                      dtype=prev.dtype, requires_grad=True,
-                                      layout=prev.layout)
-                        inputs[(mb, group)] = leaf
-                        x = leaf
-                    tgt = (token_tensor(microbatches[mb][1], world=world)
-                           if group == self.num_groups - 1 else None)
-                    outputs[(mb, group)] = self._run_group(group, x, tgt,
-                                                           store_full=store_full)
-                    if group == self.num_groups - 1:
-                        losses.append(outputs[(mb, group)].item())
+            if op.kind == OpKind.F:
+                # Moving window: claim a full-storage slot for a new
+                # microbatch if one is free.
+                if mb not in full_microbatches[rank] and slots_in_use[rank] < slots[rank]:
+                    slots_in_use[rank] += 1
+                    full_microbatches[rank].add(mb)
+                    stored_full_count[rank] += 1
+                store_full = mb in full_microbatches[rank]
+                if group == 0:
+                    x = token_tensor(microbatches[mb][0], world=world)
+                    if recorder is not None:
+                        recorder.bind_input(("ids", mb), x)
                 else:
-                    out = outputs.pop((mb, group))
-                    if group == self.num_groups - 1:
-                        grad = [np.asarray(1.0 / num_microbatches)] * out.world
+                    prev = outputs[(mb, group - 1)]
+                    leaf = Tensor([np.asarray(s).copy() for s in prev.shards],
+                                  dtype=prev.dtype, requires_grad=True,
+                                  layout=prev.layout)
+                    inputs[(mb, group)] = leaf
+                    if recorder is not None:
+                        # Replays refresh the boundary copy from the
+                        # upstream register and reset its gradient.
+                        recorder.external(_leaf_rebind(leaf, prev))
+                    x = leaf
+                if group == self.num_groups - 1:
+                    tgt = token_tensor(microbatches[mb][1], world=world)
+                    if recorder is not None:
+                        recorder.bind_input(("targets", mb), tgt)
+                else:
+                    tgt = None
+                outputs[(mb, group)] = self._run_group(group, x, tgt,
+                                                       store_full=store_full)
+                if group == self.num_groups - 1:
+                    if recorder is None:
+                        losses.append(outputs[(mb, group)].item())
                     else:
-                        downstream = inputs.pop((mb, group + 1))
-                        if downstream.grad is None:
-                            raise ScheduleError("gradient missing at stage boundary")
-                        grad = downstream.grad
-                    out.backward(grad)
-                    backward_done.add(("B", mb, group))
-                    remaining_backwards[rank][mb] -= 1
-                    if (remaining_backwards[rank][mb] == 0
-                            and mb in full_microbatches[rank]):
-                        full_microbatches[rank].discard(mb)
-                        slots_in_use[rank] -= 1
+                        recorder.external(
+                            _append_item(losses, outputs[(mb, group)]))
+            else:
+                out = outputs.pop((mb, group))
+                if group == self.num_groups - 1:
+                    grad = [np.asarray(1.0 / num_microbatches)] * out.world
+                else:
+                    downstream = inputs.pop((mb, group + 1))
+                    if downstream.grad is None:
+                        raise ScheduleError("gradient missing at stage boundary")
+                    grad = downstream.grad
+                    if recorder is not None:
+                        # At replay the seed reads the boundary leaf's
+                        # gradient (written by the downstream backward op).
+                        recorder.declare_seed_source(out, ("tgrad", downstream))
+                out.backward(grad)
+                backward_done.add(("B", mb, group))
+                remaining_backwards[rank][mb] -= 1
+                if (remaining_backwards[rank][mb] == 0
+                        and mb in full_microbatches[rank]):
+                    full_microbatches[rank].discard(mb)
+                    slots_in_use[rank] -= 1
+
+        def run_op(op: Op, rank: int) -> None:
+            if recorder is None:
+                with instrument(memory=trackers[rank]):
+                    exec_op(op, rank)
+            else:
+                recorder.external(_mem_push(rt, rank))
+                exec_op(op, rank)
+                recorder.external(_mem_pop(rt))
 
         def run(op: Op, rank: int) -> None:
-            if tracer is None:
-                return run_op(op, rank)
             kind = "forward" if op.kind == OpKind.F else "backward"
-            with tracer.rank_scope(rank), tracer.span(
-                    f"{kind} mb{op.microbatch} g{op.group}", rank=rank,
-                    microbatch=op.microbatch, group=op.group):
-                return run_op(op, rank)
+            if recorder is not None:
+                recorder.external(
+                    _pipe_span_begin(rt, kind, op.microbatch, op.group, rank))
+                run_op(op, rank)
+                recorder.external(_pipe_span_end(rt))
+            elif tracer is None:
+                run_op(op, rank)
+            else:
+                with tracer.rank_scope(rank), tracer.span(
+                        f"{kind} mb{op.microbatch} g{op.group}", rank=rank,
+                        microbatch=op.microbatch, group=op.group):
+                    run_op(op, rank)
 
         total_ops = sum(len(ops) for ops in schedule)
         executed = 0
@@ -319,15 +521,60 @@ class PipelinedGPT:
             if not progressed:
                 raise ScheduleError("pipelined execution deadlocked")
 
+        return losses, stored_full_count
+
+    def _finish_step(self, losses: List[float], trackers: List[MemoryTracker],
+                     stored_full: List[int]) -> PipelineStepResult:
+        """Post-schedule work shared by eager and compiled steps."""
         self.model.finish_grad_sync()
+        tracer = active_tracer()
         if tracer is not None and tracer.metrics is not None:
             tracer.metrics.counter(
                 "repro_train_steps_total", "completed optimizer steps").inc()
         return PipelineStepResult(
             loss=float(np.mean(losses)),
             peak_stage_bytes=[t.peak_bytes() for t in trackers],
-            microbatches_stored_full=stored_full_count,
+            microbatches_stored_full=stored_full,
         )
+
+    def _plan_key(self, ids: np.ndarray, targets: np.ndarray,
+                  num_microbatches: int,
+                  full_storage_slots: Optional[List[int]]):
+        slots = tuple(full_storage_slots) if full_storage_slots else (0,) * self.p
+        return (ids.shape, targets.shape, num_microbatches, slots)
+
+    def _train_step_compiled(self, ids: np.ndarray, targets: np.ndarray,
+                             num_microbatches: int,
+                             trackers: Optional[List[MemoryTracker]],
+                             full_storage_slots: Optional[List[int]]) -> PipelineStepResult:
+        if trackers is None:
+            trackers = [MemoryTracker() for _ in range(self.p)]
+        key = self._plan_key(ids, targets, num_microbatches, full_storage_slots)
+        plan = self.plans.get(key)
+        if plan is None:
+            recorder = CaptureRecorder("pipeline_step")
+            rt = PlanRuntime()
+            rt.trackers = trackers
+            with capture_scope(recorder):
+                _, stored = self._run_schedule(
+                    ids, targets, num_microbatches, trackers,
+                    full_storage_slots, recorder, rt)
+            rt.stored_full = stored
+            plan = recorder.finalize(runtime=rt)
+            self.plans.put(key, plan)
+            return self._finish_step(list(rt.losses), trackers, list(stored))
+        rt = plan.runtime
+        rt.trackers = trackers
+        rt.losses.clear()
+        world = self.model.group.size
+        microbatches = split_microbatches(ids, targets, num_microbatches)
+        for mb, (mb_ids, mb_targets) in enumerate(microbatches):
+            plan.bind(("ids", mb), token_tensor(mb_ids, world=world).shards)
+            plan.bind(("targets", mb),
+                      token_tensor(mb_targets, world=world).shards)
+        plan.replay()
+        return self._finish_step(list(rt.losses), trackers,
+                                 list(rt.stored_full))
 
     def fit_step(self, optimizer: Adam, ids: np.ndarray, targets: np.ndarray,
                  num_microbatches: int) -> float:

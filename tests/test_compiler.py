@@ -1,0 +1,394 @@
+"""Static-graph step compiler: capture one step, replay bitwise-identical.
+
+The anchor tests are the eager-vs-replay equivalence matrices — every
+loss, gradient, weight, logit and tracked byte a replayed plan produces
+must equal the eager tape exactly (``assert_array_equal``, not
+``allclose``) across serial, tensor-parallel, sequence-parallel,
+pipelined and decode configurations — plus the plan-cache semantics and
+the first-fit allocator's sorted-free-list rewrite (differential-tested
+against the former append+sort+scan implementation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.allocator import FirstFitAllocator, TracingMemoryTracker
+from repro.compiler import (
+    CaptureRecorder,
+    PlanCache,
+    PlanRuntime,
+    capture_scope,
+)
+from repro.config import ModelConfig
+from repro.errors import CompilerError
+from repro.layers import GPTModel, Recompute
+from repro.parallel import ParallelGPTModel
+from repro.serving import DecodeEngine, PagedKVCache
+from repro.tensor import from_numpy, instrument, seed
+from repro.tensor import functions as F
+from repro.training import Adam, PipelinedGPT, Trainer
+
+CFG = ModelConfig(num_layers=2, hidden_size=32, num_heads=4,
+                  seq_length=16, vocab_size=32, name="compiler-tiny")
+PIPE_CFG = ModelConfig(num_layers=4, hidden_size=32, num_heads=4,
+                       seq_length=16, vocab_size=32, name="compiler-pipe")
+rng = np.random.default_rng(23)
+
+
+def _batch(cfg=CFG, b=4):
+    return (rng.integers(0, cfg.vocab_size, size=(b, cfg.seq_length)),
+            rng.integers(0, cfg.vocab_size, size=(b, cfg.seq_length)))
+
+
+def _model(layout, recompute=Recompute.NONE, fused=False, cfg=CFG):
+    seed(0)
+    if layout == "serial":
+        return GPTModel(cfg, recompute=recompute, seed=0, fused=fused)
+    return ParallelGPTModel(cfg, tensor_parallel=2,
+                            sequence_parallel=(layout == "tp+sp"),
+                            recompute=recompute, seed=0, fused=fused)
+
+
+def _assert_params_equal(a, b):
+    for (n1, p1), (n2, p2) in zip(a.named_parameters(), b.named_parameters()):
+        assert n1 == n2
+        for r in range(p1.world):
+            np.testing.assert_array_equal(
+                np.asarray(p1.shards[r]), np.asarray(p2.shards[r]),
+                err_msg=n1)
+
+
+class TestTrainerReplay:
+    """Replayed Trainer steps are bitwise-equal to eager steps: both
+    twins see identical per-step RNG, so dropout masks, losses, Adam
+    updates and final weights must all match exactly."""
+
+    @pytest.mark.parametrize("layout,recompute,fused", [
+        ("serial", Recompute.NONE, False),
+        ("serial", Recompute.NONE, True),
+        ("serial", Recompute.SELECTIVE, False),
+        ("serial", Recompute.SELECTIVE, True),
+        ("tp", Recompute.NONE, False),
+        ("tp+sp", Recompute.NONE, False),
+        ("tp+sp", Recompute.SELECTIVE, False),
+    ])
+    def test_bitwise_matrix(self, layout, recompute, fused):
+        compiled = Trainer(_model(layout, recompute, fused), lr=1e-3,
+                           compiled=True)
+        eager = Trainer(_model(layout, recompute, fused), lr=1e-3)
+        ids, targets = _batch()
+        for step in range(3):
+            seed(1000 + step)
+            loss_c = compiled.train_step(ids, targets, num_microbatches=2)
+            seed(1000 + step)
+            loss_e = eager.train_step(ids, targets, num_microbatches=2)
+            assert loss_c == loss_e, (step, loss_c, loss_e)
+        _assert_params_equal(compiled.model, eager.model)
+        # one capture (miss), then pure replays
+        assert compiled.plans.stats() == {"plans": 1, "hits": 2, "misses": 1}
+
+    def test_memory_tracking_is_identical_under_replay(self):
+        """A replayed step re-saves and re-releases through the same
+        FnCtx objects, so a tracing tracker sees the exact alloc/free
+        stream the eager tape produced — sizes, categories and order."""
+        def _trace(trainer, reseed):
+            tracker = TracingMemoryTracker(rank=0)
+            seed(reseed)
+            with instrument(memory=tracker):
+                trainer.train_step(*_pair)
+            return [(e.kind, e.nbytes, e.category) for e in tracker.trace]
+
+        _pair = _batch()
+        compiled = Trainer(_model("serial", Recompute.SELECTIVE), lr=1e-3,
+                           compiled=True)
+        eager = Trainer(_model("serial", Recompute.SELECTIVE), lr=1e-3)
+        _trace(compiled, 7)   # capture step
+        _trace(eager, 7)
+        replayed = _trace(compiled, 8)   # replay step
+        eagered = _trace(eager, 8)
+        assert replayed == eagered
+
+
+class TestPipelineReplay:
+    def _models(self, recompute=Recompute.NONE):
+        def build():
+            seed(0)
+            serial = GPTModel(PIPE_CFG, seed=6)
+            return ParallelGPTModel(PIPE_CFG, tensor_parallel=2,
+                                    sequence_parallel=True,
+                                    recompute=recompute, serial=serial)
+        return build(), build()
+
+    def _run(self, pipe, model, ids, targets, n_mb, steps=3, **kw):
+        opt = Adam(model.parameters(), lr=1e-3)
+        results = []
+        for step in range(steps):
+            seed(2000 + step)
+            opt.zero_grad()
+            results.append(pipe.train_step(ids, targets,
+                                           num_microbatches=n_mb, **kw))
+            opt.step()
+        return results
+
+    @pytest.mark.parametrize("n_mb,interleave", [(2, 1), (4, 2)])
+    def test_pipeline_bitwise(self, n_mb, interleave):
+        model_c, model_e = self._models()
+        pipe_c = PipelinedGPT(model_c, 2, interleave_stages=interleave,
+                              compiled=True)
+        pipe_e = PipelinedGPT(model_e, 2, interleave_stages=interleave)
+        ids, targets = _batch(PIPE_CFG, b=n_mb * 2)
+        got = self._run(pipe_c, model_c, ids, targets, n_mb)
+        want = self._run(pipe_e, model_e, ids, targets, n_mb)
+        for g, w in zip(got, want):
+            assert g.loss == w.loss
+            assert g.peak_stage_bytes == w.peak_stage_bytes
+            assert g.microbatches_stored_full == w.microbatches_stored_full
+        _assert_params_equal(model_c, model_e)
+        assert pipe_c.plans.stats() == {"plans": 1, "hits": 2, "misses": 1}
+
+    def test_pipeline_with_storage_slots(self):
+        """Appendix C microbatch-level recompute (full-storage slots)
+        replays with identical per-stage peaks and stored-full counts."""
+        model_c, model_e = self._models(recompute=Recompute.FULL)
+        pipe_c = PipelinedGPT(model_c, 2, compiled=True)
+        pipe_e = PipelinedGPT(model_e, 2)
+        ids, targets = _batch(PIPE_CFG, b=4)
+        got = self._run(pipe_c, model_c, ids, targets, 2,
+                        full_storage_slots=[1, 1])
+        want = self._run(pipe_e, model_e, ids, targets, 2,
+                         full_storage_slots=[1, 1])
+        for g, w in zip(got, want):
+            assert g.loss == w.loss
+            assert g.peak_stage_bytes == w.peak_stage_bytes
+            assert g.microbatches_stored_full == w.microbatches_stored_full
+
+
+class TestDecodeReplay:
+    def _engines(self, layout="serial"):
+        serial = GPTModel(CFG, seed=2)
+        if layout == "serial":
+            model, world = serial, 1
+        else:
+            model = ParallelGPTModel(CFG, tensor_parallel=2,
+                                     sequence_parallel=True, serial=serial)
+            world = 2
+        def make(compiled):
+            cache = PagedKVCache(CFG, tensor_parallel=world, block_size=4,
+                                 num_blocks=16)
+            return DecodeEngine(model, cache, compiled=compiled)
+        return make(True), make(False)
+
+    @pytest.mark.parametrize("layout", ["serial", "tp+sp"])
+    def test_ragged_decode_bitwise(self, layout):
+        compiled, eager = self._engines(layout)
+        prompts = {"a": [1, 2, 3], "b": [4, 5, 6, 7, 8], "c": [9, 10]}
+        for request_id, prompt in prompts.items():
+            np.testing.assert_array_equal(compiled.prefill(request_id, prompt),
+                                          eager.prefill(request_id, prompt))
+        tokens = {r: p[-1] for r, p in prompts.items()}
+        for _ in range(4):
+            batch = sorted(tokens)
+            got = compiled.decode(batch, [tokens[r] for r in batch])
+            want = eager.decode(batch, [tokens[r] for r in batch])
+            np.testing.assert_array_equal(got, want)
+            for j, r in enumerate(batch):
+                tokens[r] = int(np.argmax(want[j]))
+        # a request finishes: the B=2 bucket captures its own plan
+        compiled.finish("b")
+        eager.finish("b")
+        del tokens["b"]
+        batch = sorted(tokens)
+        np.testing.assert_array_equal(
+            compiled.decode(batch, [tokens[r] for r in batch]),
+            eager.decode(batch, [tokens[r] for r in batch]))
+        stats = compiled.plans.stats()
+        # prefill buckets (one per distinct prompt length) + B=3 + B=2
+        assert stats["plans"] == stats["misses"] >= 3
+        assert stats["hits"] >= 3
+
+
+class TestPlanCacheSemantics:
+    def test_shape_and_microbatch_changes_miss(self):
+        trainer = Trainer(_model("serial"), lr=1e-3, compiled=True)
+        ids, targets = _batch()
+        seed(1)
+        trainer.train_step(ids, targets)                       # miss
+        seed(2)
+        trainer.train_step(ids, targets)                       # hit
+        seed(3)
+        trainer.train_step(ids, targets, num_microbatches=2)   # miss
+        seed(4)
+        trainer.train_step(ids[:2], targets[:2])               # miss
+        seed(5)
+        trainer.train_step(ids, targets)                       # hit
+        assert trainer.plans.stats() == {"plans": 3, "hits": 2, "misses": 3}
+
+    def test_cache_clear_and_contains(self):
+        cache = PlanCache()
+        assert cache.get("k") is None
+        cache.put("k", object())
+        assert "k" in cache and cache.get("k") is not None
+        assert cache.stats() == {"plans": 1, "hits": 1, "misses": 1}
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"plans": 0, "hits": 0, "misses": 0}
+
+    def test_bind_unknown_input_raises(self):
+        trainer = Trainer(_model("serial"), lr=1e-3, compiled=True)
+        seed(1)
+        trainer.train_step(*_batch())
+        plan = trainer.plans.plans()[0]
+        with pytest.raises(CompilerError, match="no input"):
+            plan.bind(("ids", 99), [np.zeros((1,))])
+
+    def test_plan_stats_are_canonical(self):
+        trainer = Trainer(_model("tp+sp"), lr=1e-3, compiled=True)
+        seed(1)
+        trainer.train_step(*_batch())
+        plan = trainer.plans.plans()[0]
+        stats = plan.stats()
+        assert stats["ops"] == plan.num_ops > 0
+        assert stats["forward_ops"] > 0 and stats["backward_ops"] > 0
+        assert stats["collectives"] == len(plan.collective_schedule()) > 0
+        assert stats["arena_bytes"] > 0 and stats["planned_buffers"] > 0
+        # collective schedule rows are (op_index, kind, fn_name), ordered
+        indices = [row[0] for row in plan.collective_schedule()]
+        assert indices == sorted(indices)
+
+
+class TestCaptureErrors:
+    def test_nested_capture_raises(self):
+        with capture_scope(CaptureRecorder("outer")):
+            with pytest.raises(CompilerError, match="capture"):
+                with capture_scope(CaptureRecorder("inner")):
+                    pass  # pragma: no cover
+
+    def test_duplicate_input_binding_raises(self):
+        recorder = CaptureRecorder("dup")
+        x = from_numpy(np.zeros((2, 2)))
+        with capture_scope(recorder):
+            recorder.bind_input("x", x)
+            with pytest.raises(CompilerError):
+                recorder.bind_input("x", x)
+
+    def test_memprof_falls_back_to_eager(self):
+        """The memory profiler needs live tape frames, so compiled
+        trainers run eagerly (and capture nothing) under a memprof."""
+        from repro.observability.memprof import MemProfiler, memprof_scope
+
+        trainer = Trainer(_model("serial"), lr=1e-3, compiled=True)
+        ids, targets = _batch()
+        seed(1)
+        with memprof_scope(MemProfiler()):
+            trainer.train_step(ids, targets)
+        assert trainer.plans.stats()["plans"] == 0
+
+
+class TestStandaloneCapture:
+    def test_forward_chain_replays_on_new_input(self):
+        x = from_numpy(rng.standard_normal((4, 4)))
+        w = from_numpy(rng.standard_normal((4, 4)))
+        recorder = CaptureRecorder("chain")
+        with capture_scope(recorder):
+            recorder.bind_input("x", x)
+            y = F.scale(F.add(F.mul(x, w), w), 0.5)
+        plan = recorder.finalize(runtime=PlanRuntime())
+        first = np.asarray(y.shards[0]).copy()
+        fresh = rng.standard_normal((4, 4))
+        plan.bind("x", [fresh])
+        plan.replay()
+        np.testing.assert_array_equal(
+            np.asarray(y.shards[0]), (fresh * np.asarray(w.shards[0])
+                                      + np.asarray(w.shards[0])) * 0.5)
+        assert not np.array_equal(np.asarray(y.shards[0]), first)
+        assert plan.replays == 1
+
+    def test_backward_grads_replay_bitwise(self):
+        x_arr = rng.standard_normal((3, 5))
+
+        def run_eager():
+            x = from_numpy(x_arr, requires_grad=True)
+            loss = F.sum_all(F.gelu(F.scale(x, 1.3)))
+            loss.backward()
+            return loss.item(), np.asarray(x.grad[0]).copy()
+
+        want_loss, want_grad = run_eager()
+        x = from_numpy(x_arr, requires_grad=True)
+        recorder = CaptureRecorder("bwd")
+        with capture_scope(recorder):
+            recorder.bind_input("x", x)
+            loss = F.sum_all(F.gelu(F.scale(x, 1.3)))
+            loss.backward()
+        plan = recorder.finalize(runtime=PlanRuntime())
+        assert loss.item() == want_loss
+        np.testing.assert_array_equal(np.asarray(x.grad[0]), want_grad)
+        x.grad = None
+        plan.replay()
+        assert loss.item() == want_loss
+        np.testing.assert_array_equal(np.asarray(x.grad[0]), want_grad)
+
+
+class _ReferenceFirstFit(FirstFitAllocator):
+    """The pre-optimisation free path: append, full sort, full-list
+    coalesce scan.  Kept as the differential-test oracle for the sorted
+    insert in :meth:`FirstFitAllocator._insert_free`."""
+
+    def free(self, handle: int) -> None:
+        from repro.errors import PlanningError
+        block = self._allocated.pop(handle, None)
+        if block is None:
+            raise PlanningError(f"double free or unknown handle {handle}")
+        self._live -= block.size
+        self.stats.frees += 1
+        self._free.append(block)
+        self._free.sort(key=lambda b: b.offset)
+        merged = []
+        for blk in self._free:
+            if merged and merged[-1].offset + merged[-1].size == blk.offset:
+                merged[-1].size += blk.size
+            else:
+                merged.append(blk)
+        if merged and merged[-1].offset + merged[-1].size == self._top:
+            self._top = merged[-1].offset
+            merged.pop()
+        self._free = merged
+
+
+class TestFirstFitDifferential:
+    def test_sorted_insert_matches_reference(self):
+        """Random alloc/free interleavings: the bisect-insert free list
+        must equal the former sort-and-scan implementation block for
+        block (offsets, sizes, arena top, stats) after every event."""
+        for trial in range(25):
+            local = np.random.default_rng(trial)
+            fast = FirstFitAllocator(alignment=64)
+            slow = _ReferenceFirstFit(alignment=64)
+            live = []
+            for _ in range(300):
+                if live and local.random() < 0.45:
+                    i = int(local.integers(len(live)))
+                    hf, hs = live.pop(i)
+                    fast.free(hf)
+                    slow.free(hs)
+                else:
+                    n = int(local.integers(1, 4096))
+                    live.append((fast.alloc(n), slow.alloc(n)))
+                assert [(b.offset, b.size) for b in fast._free] == \
+                    [(b.offset, b.size) for b in slow._free], trial
+                assert fast._top == slow._top
+            assert fast.stats == slow.stats
+
+    def test_free_list_stays_sorted_and_coalesced(self):
+        a = FirstFitAllocator(alignment=1)
+        handles = [a.alloc(10) for _ in range(8)]
+        keep = a.alloc(5)
+        for h in handles[::2]:
+            a.free(h)
+        for h in handles[1::2]:
+            a.free(h)
+        offsets = [b.offset for b in a._free]
+        assert offsets == sorted(offsets)
+        for left, right in zip(a._free, a._free[1:]):
+            assert left.offset + left.size < right.offset
+        a.free(keep)
+        assert a.reserved_bytes == 0 and a._free == []

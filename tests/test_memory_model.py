@@ -206,3 +206,46 @@ class TestFigure9:
         from repro.errors import ConfigError
         with pytest.raises(ConfigError):
             in_flight_microbatches(35, 35, 10)
+
+
+class TestMemoization:
+    """The per-layer formulas are memoised on (config, layout,
+    recompute) — a pure-function cache, so hits must be observable,
+    string and enum recompute keys must normalise to the same entry,
+    and returned dicts must be defensive copies."""
+
+    def test_string_and_enum_recompute_share_an_entry(self):
+        from repro.memory_model.activations import _per_layer_activation_bytes
+
+        cfg = ModelConfig(num_layers=2, hidden_size=64, num_heads=4,
+                          seq_length=32, vocab_size=64, name="memo")
+        before = _per_layer_activation_bytes.cache_info()
+        a = per_layer_activation_bytes(cfg, 2, 2, sequence_parallel=True,
+                                       recompute=Recompute.SELECTIVE)
+        b = per_layer_activation_bytes(cfg, 2, 2, sequence_parallel=True,
+                                       recompute="selective")
+        after = _per_layer_activation_bytes.cache_info()
+        assert a == b
+        assert after.misses == before.misses + 1
+        assert after.hits >= before.hits + 1
+
+    def test_breakdown_returns_a_copy(self):
+        cfg = ModelConfig(num_layers=2, hidden_size=64, num_heads=4,
+                          seq_length=32, vocab_size=64, name="memo-copy")
+        first = per_layer_breakdown(cfg, 2, 1, sequence_parallel=False,
+                                    recompute=Recompute.NONE)
+        first["attn_core"] = -1  # caller mutates its copy
+        second = per_layer_breakdown(cfg, 2, 1, sequence_parallel=False,
+                                     recompute=Recompute.NONE)
+        assert second["attn_core"] != -1
+        assert first is not second
+
+    def test_memoised_values_match_fresh_computation(self):
+        cfg = ModelConfig(num_layers=2, hidden_size=64, num_heads=4,
+                          seq_length=32, vocab_size=64, name="memo-eq")
+        for recompute in (Recompute.NONE, Recompute.SELECTIVE, Recompute.FULL):
+            once = per_layer_activation_bytes(cfg, 4, 2, True, recompute)
+            again = per_layer_activation_bytes(cfg, 4, 2, True, recompute)
+            assert once == again
+            assert sum(per_layer_breakdown(cfg, 4, 2, True,
+                                           recompute).values()) == once
