@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction.
 PY ?= python
 
-.PHONY: test bench bench-gate chaos trace serve fleet monitor memprofile compile report examples all clean
+.PHONY: test bench bench-gate chaos trace serve fleet monitor memprofile compile longctx report examples all clean
 
 test:
 	$(PY) -m pytest tests/
@@ -79,6 +79,17 @@ compile:
 	$(PY) -m repro compile --tp 2 --sequence-parallel --recompute selective --microbatches 2 > /dev/null
 	@echo "compiled plans replay bitwise-identical; trace in compile-trace.json"
 
+# Long-context parallelism: serial-equivalence matrix for the Ulysses
+# and ring layouts, then a traced run per layout reconciling comm bytes
+# against the closed-form volumes, the overlapped-recompute attribution
+# and the chooser, with a validated Perfetto trace (docs/long_context.md).
+longctx:
+	$(PY) -m pytest tests/test_longctx.py
+	$(PY) -m repro longctx --layout ulysses --trace-out longctx-trace.json
+	$(PY) -m repro longctx --layout ring --recompute selective > /dev/null
+	$(PY) -m repro table 6 --seq-length 65536 > /dev/null
+	@echo "context-parallel runs bitwise-identical to serial; trace in longctx-trace.json"
+
 report:
 	$(PY) -m repro report --output report.md
 
@@ -90,5 +101,6 @@ all: test bench report
 
 clean:
 	rm -rf .pytest_cache .hypothesis report.md trace-out serve-trace.json fleet-trace.json \
-		postmortem.json request-trace.json monitor-trace.json memprof-out compile-trace.json
+		postmortem.json request-trace.json monitor-trace.json memprof-out compile-trace.json \
+		longctx-trace.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

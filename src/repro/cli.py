@@ -61,7 +61,19 @@ def cmd_table(args) -> str:
         if args.json:
             return emit_json({"table": 5, "rows": experiments.table5_data()})
         return experiments.table5_report()
-    raise SystemExit("reproducible tables: 2, 4, 5")
+    if args.number == 6:
+        if args.json:
+            return emit_json({
+                "table": 6, "model": args.model,
+                "context_parallel": args.context_parallel,
+                "seq_length": args.seq_length,
+                "rows": experiments.table6_data(
+                    args.model, context_parallel=args.context_parallel,
+                    seq_length=args.seq_length)})
+        return experiments.table6_report(
+            args.model, context_parallel=args.context_parallel,
+            seq_length=args.seq_length)
+    raise SystemExit("reproducible tables: 2, 4, 5, 6")
 
 
 def cmd_figure(args) -> str:
@@ -923,6 +935,136 @@ def cmd_compile(args) -> str:
     )
 
 
+def cmd_longctx(args) -> str:
+    """Run a traced context-parallel (Ulysses or ring) training step and
+    reconcile it end to end: forward loss bitwise against the serial
+    model, traced comm bytes exactly against the closed-form volumes,
+    recompute-phase collectives attributed to the overlapped bucket, and
+    the analytic overlap/chooser summaries alongside.
+    """
+    import numpy as np
+
+    from .config import ModelConfig
+    from .layers import GPTModel, token_tensor
+    from .longctx import (
+        LongContextGPTModel,
+        recompute_overlap_scope,
+        ring_layer_bytes,
+        ring_selective_extra_bytes,
+        ulysses_layer_bytes,
+        ulysses_selective_extra_bytes,
+    )
+    from .observability import (
+        Tracer,
+        attribute,
+        export_trace,
+        from_tracer,
+        trace_scope,
+        validate_trace_file,
+    )
+    from .pipeline_sim import longctx_overlap_report
+    from .planner import choose_context_layout
+    from .tensor.functions import MaskSource
+
+    p = args.context_parallel
+    rc = Recompute(args.recompute)
+    b = 2
+    model_cfg = ModelConfig(num_layers=2, hidden_size=32, num_heads=4,
+                            seq_length=args.seq_length, vocab_size=64,
+                            name="longctx")
+    ms = MaskSource(seed=args.seed + 1, keep_prob=0.9)
+    serial = GPTModel(model_cfg, seed=args.seed, mask_source=ms)
+    rng = np.random.default_rng(args.seed + 2)
+    ids = rng.integers(0, model_cfg.vocab_size,
+                       size=(model_cfg.seq_length, b)).astype(np.int64)
+    tgt = rng.integers(0, model_cfg.vocab_size,
+                       size=(model_cfg.seq_length, b)).astype(np.int64)
+    serial_loss = serial(token_tensor(ids), token_tensor(tgt)).item()
+
+    model = LongContextGPTModel(model_cfg, context_parallel=p,
+                                layout=args.layout, recompute=rc,
+                                mask_source=ms, serial=serial)
+    tracer = Tracer()
+    with trace_scope(tracer):
+        with recompute_overlap_scope():
+            loss = model(token_tensor(ids, world=p),
+                         token_tensor(tgt, world=p))
+            loss.backward()
+    model.finish_grad_sync()
+
+    data = from_tracer(tracer)
+    comm = [s for s in data.spans if s.subsystem == "comm"]
+    if args.layout == "ulysses":
+        traced_bytes = sum(s.args["bytes"] for s in comm
+                           if s.name == "all_to_all")
+        expected_bytes = model_cfg.num_layers * ulysses_layer_bytes(
+            model_cfg, b, p)
+        if rc != Recompute.NONE:
+            expected_bytes += model_cfg.num_layers * \
+                ulysses_selective_extra_bytes(model_cfg, b, p)
+    else:
+        traced_bytes = sum(s.args["bytes"] for s in comm
+                           if "hop" in s.name)
+        expected_bytes = model_cfg.num_layers * ring_layer_bytes(
+            model_cfg, b, p)
+        if rc != Recompute.NONE:
+            expected_bytes += model_cfg.num_layers * \
+                ring_selective_extra_bytes(model_cfg, b, p)
+    att = attribute(data)
+    overlap = longctx_overlap_report(model_cfg, b, p, args.layout, rc)
+    choice = choose_context_layout(model_cfg, b, p)
+
+    trace_note = ""
+    if args.trace_out:
+        num_events = export_trace(tracer, args.trace_out)
+        validate_trace_file(args.trace_out)
+        trace_note = (f"\n  {args.trace_out}: {num_events} events "
+                      f"(validated; open in https://ui.perfetto.dev)")
+
+    doc = {
+        "layout": args.layout,
+        "context_parallel": p,
+        "recompute": rc.value,
+        "loss": loss.item(),
+        "serial_loss": serial_loss,
+        "loss_drift": abs(loss.item() - serial_loss),
+        "traced_comm_bytes": traced_bytes,
+        "expected_comm_bytes": expected_bytes,
+        "volume_exact": traced_bytes == expected_bytes,
+        "attribution": {
+            "exposed_comm": att.totals["exposed_comm"],
+            "overlapped_comm": att.totals["overlapped_comm"],
+            "coverage_error": att.coverage_error,
+        },
+        "overlap": {
+            "exposed_reduction": overlap.exposed_reduction,
+            "speedup": overlap.speedup,
+        },
+        "chooser": {
+            "layout": choice.layout,
+            "seconds_per_layer": choice.seconds_per_layer,
+        },
+    }
+    if args.json:
+        return emit_json(doc)
+    return (
+        f"longctx {args.layout} p={p} recompute={rc.value} "
+        f"(s={model_cfg.seq_length}, b={b}):\n"
+        f"  loss {loss.item():.6f}, serial drift {doc['loss_drift']:g} "
+        f"(bitwise)\n"
+        f"  traced comm {fmt_bytes(traced_bytes)} vs closed form "
+        f"{fmt_bytes(expected_bytes)} "
+        f"({'exact' if doc['volume_exact'] else 'MISMATCH'})\n"
+        f"  exposed comm {att.totals['exposed_comm']:.6f} s, overlapped "
+        f"{att.totals['overlapped_comm']:.6f} s "
+        f"(coverage error {att.coverage_error:g})\n"
+        f"  analytic overlap: exposed-comm reduction "
+        f"{overlap.exposed_reduction:.2f}x, step speedup "
+        f"{overlap.speedup:.3f}x\n"
+        f"  chooser pick at this shape: {choice.layout}" + trace_note
+    )
+
+
 def cmd_bench(args) -> str:
     """Run the benchmark presets, write canonical ``BENCH_<preset>.json``
     documents, and (with ``--check``) gate against committed baselines.
@@ -1048,9 +1190,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", action="store_true",
                        help="emit machine-readable canonical JSON")
 
-    p = sub.add_parser("table", help="regenerate a paper table (2, 4 or 5)")
+    p = sub.add_parser("table",
+                       help="regenerate a paper table (2, 4, 5 or 6)")
     p.add_argument("number", type=int)
     p.add_argument("--model", default="22B", choices=PAPER_CONFIG_NAMES)
+    p.add_argument("--context-parallel", type=int, default=8,
+                   help="context-parallel group size (table 6)")
+    p.add_argument("--seq-length", type=int, default=None,
+                   help="override sequence length (table 6)")
     add_json_flag(p)
     p.set_defaults(fn=cmd_table)
 
@@ -1275,6 +1422,27 @@ def build_parser() -> argparse.ArgumentParser:
                         "step here")
     add_json_flag(p)
     p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser(
+        "longctx", help="traced context-parallel run (Ulysses/ring) with "
+                        "exact volume + overlap reconciliation")
+    p.add_argument("--layout", default="ulysses",
+                   choices=["ulysses", "ring"],
+                   help="context-parallel attention layout")
+    p.add_argument("--context-parallel", type=int, default=2,
+                   help="context-parallel group size")
+    p.add_argument("--recompute", default="full",
+                   choices=[r.value for r in
+                            (Recompute.NONE, Recompute.SELECTIVE,
+                             Recompute.FULL)],
+                   help="activation recompute strategy")
+    p.add_argument("--seq-length", type=int, default=16,
+                   help="sequence length (divisible by the group size)")
+    p.add_argument("--seed", type=int, default=4)
+    p.add_argument("--trace-out", default=None,
+                   help="write a validated Perfetto trace here")
+    add_json_flag(p)
+    p.set_defaults(fn=cmd_longctx)
 
     p = sub.add_parser(
         "bench", help="benchmark presets -> BENCH_*.json; --check gates "

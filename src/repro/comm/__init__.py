@@ -4,6 +4,7 @@ from .collectives import (
     active_fault_injector,
     all_gather,
     all_reduce,
+    all_to_all,
     broadcast,
     fault_scope,
     gather_concat,
@@ -16,6 +17,6 @@ from .process_group import ProcessGroup
 
 __all__ = [
     "CollectiveCostModel", "ProcessGroup", "active_fault_injector",
-    "all_gather", "all_reduce", "broadcast", "fault_scope", "gather_concat",
-    "install_fault_injector", "reduce_scatter", "scatter",
+    "all_gather", "all_reduce", "all_to_all", "broadcast", "fault_scope",
+    "gather_concat", "install_fault_injector", "reduce_scatter", "scatter",
 ]

@@ -13,6 +13,13 @@ Conventions (matching NCCL):
   all shards along ``axis``.
 * ``reduce_scatter(shards, axis)`` — the elementwise sum is computed, then
   split along ``axis``; rank ``i`` keeps piece ``i``.
+* ``all_to_all(shards, split_axis, concat_axis)`` — every rank splits its
+  shard into ``n`` pieces along ``split_axis`` and sends piece ``j`` to
+  rank ``j``; each rank concatenates the ``n`` pieces it receives along
+  ``concat_axis``.  With ``split_axis == concat_axis`` this is the
+  classic shard-transpose; with different axes it re-shards a tensor
+  from one axis to another (the DeepSpeed-Ulysses sequence<->head
+  redistribution).
 * ``scatter(full, world, axis)`` — split one array into per-rank pieces
   (no reduction).
 * ``gather_concat(shards, axis)`` — like all_gather but conceptually
@@ -116,6 +123,31 @@ def all_gather(shards: Sequence[ArrayLike], axis: int = 0) -> List[ArrayLike]:
     shards = _inject("all_gather", shards)
     full = bk.concatenate(list(shards), axis)
     return [full] * len(shards)
+
+
+def all_to_all(shards: Sequence[ArrayLike], split_axis: int = 0,
+               concat_axis: int = 0) -> List[ArrayLike]:
+    """Re-shard: rank ``r`` receives piece ``r`` of every rank's shard.
+
+    Each rank's shard is split into ``n`` equal pieces along
+    ``split_axis``; output rank ``r`` concatenates ``[piece r of rank 0,
+    ..., piece r of rank n-1]`` along ``concat_axis``.  The inverse of
+    ``all_to_all(split_axis=a, concat_axis=b)`` is
+    ``all_to_all(split_axis=b, concat_axis=a)``.
+    """
+    _check(shards)
+    n = len(shards)
+    shape = bk.shape_of(shards[0])
+    axis = split_axis % len(shape)
+    if shape[axis] % n != 0:
+        raise CommError(
+            f"all_to_all needs axis {split_axis} of {shape} divisible by {n}")
+    shards = _inject("all_to_all", shards)
+    pieces = [bk.split(s, n, split_axis) for s in shards]
+    return [
+        bk.concatenate([pieces[src][r] for src in range(n)], concat_axis)
+        for r in range(n)
+    ]
 
 
 def reduce_scatter(shards: Sequence[ArrayLike], axis: int = 0) -> List[ArrayLike]:

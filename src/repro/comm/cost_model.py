@@ -17,6 +17,10 @@ is slower than an all-reduce alone".
 
 ``nbytes`` below is always the **full logical tensor size** being
 communicated (the all-reduce input size; the all-gather output size).
+The one exception is ``all_to_all``, whose natural unit is the per-rank
+local shard: each rank keeps ``1/n`` of its shard and sends the other
+``(n-1)/n`` in ``n-1`` pairwise exchanges, so ``nbytes`` there is the
+local shard size — which is exactly what the tracer logs for it.
 """
 
 from __future__ import annotations
@@ -75,6 +79,10 @@ class CollectiveCostModel:
             steps, volume = (n - 1), 1.0 * (n - 1) / n * s
         elif info.op == "broadcast":
             steps, volume = (n - 1), 1.0 * (n - 1) / n * s
+        elif info.op == "all_to_all":
+            # Pairwise exchange: each rank sends (n-1)/n of its local
+            # shard (``s`` bytes) in n-1 steps.
+            steps, volume = (n - 1), 1.0 * (n - 1) / n * s
         elif info.op == "p2p":
             steps, volume = 1, s
         else:
@@ -90,6 +98,10 @@ class CollectiveCostModel:
 
     def reduce_scatter_time(self, nbytes: int, group_size: int, scope: str = "tp") -> float:
         return self.time(CommInfo("reduce_scatter", nbytes, group_size, scope))
+
+    def all_to_all_time(self, nbytes: int, group_size: int, scope: str = "cp") -> float:
+        """``nbytes`` is the per-rank local shard size (see module docs)."""
+        return self.time(CommInfo("all_to_all", nbytes, group_size, scope))
 
     def p2p_time(self, nbytes: int, scope: str = "pp") -> float:
         return self.time(CommInfo("p2p", nbytes, 2, scope))

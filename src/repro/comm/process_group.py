@@ -13,6 +13,10 @@ cost model uses to pick the physical link:
 * ``"dp"`` — data-parallel replicas, inter-node InfiniBand;
 * ``"fleet"`` — serving replicas (:mod:`repro.fleet`); KV-migration
   traffic between replicas crosses nodes like data-parallel traffic.
+* ``"cp"`` — context-parallel group (:mod:`repro.longctx`); the sequence
+  dimension is sharded across these ranks, and Ulysses all-to-alls /
+  ring-attention P2P hops ride whatever link the cluster shape implies
+  (intra-node when the cluster is one node, InfiniBand otherwise).
 """
 
 from __future__ import annotations
@@ -32,7 +36,7 @@ class ProcessGroup:
     def __post_init__(self) -> None:
         if self.size < 1:
             raise CommError(f"group size must be >= 1, got {self.size}")
-        if self.scope not in ("tp", "pp", "dp", "fleet"):
+        if self.scope not in ("tp", "pp", "dp", "cp", "fleet"):
             raise CommError(f"unknown scope {self.scope!r}")
 
     def check_world(self, world: int) -> None:

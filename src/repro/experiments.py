@@ -12,6 +12,7 @@ data.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -293,6 +294,67 @@ def table5_report(include_dp: bool = True) -> str:
             f"(paper 39.15 s), MFU {pct(dp.mfu)} (paper 54.2%)"
         )
     return text
+
+
+# ---------------------------------------------------------------------------
+# Table 6 (extension) — context-layout comm volumes (repro.longctx)
+# ---------------------------------------------------------------------------
+
+def table6_data(model_name: str = "22B", context_parallel: int = 8,
+                microbatch_size: int = 1,
+                seq_length: Optional[int] = None) -> List[dict]:
+    """Per-layer comm volume and priced exposed seconds of the context
+    layouts — all-gather SP vs Ulysses vs ring — at equal (s, b, h, p).
+
+    The byte columns are the closed forms that the tracer reproduces
+    exactly (``tests/test_longctx.py``); the chosen row is
+    :func:`repro.planner.choose_context_layout`'s pick.  ``seq_length``
+    overrides the paper config's sequence (at the paper's 2048 the
+    baseline's fewer launches still win; the long-context layouts take
+    over as the all-gather volume grows).
+    """
+    from .longctx import layout_volumes
+    from .planner import choose_context_layout
+
+    model = PAPER_CONFIGS[model_name].model
+    if seq_length is not None:
+        model = dataclasses.replace(model, seq_length=seq_length,
+                                    name=f"{model.name}@s={seq_length}")
+    volumes = layout_volumes(model, microbatch_size, context_parallel)
+    choice = choose_context_layout(model, microbatch_size, context_parallel)
+    return [{
+        "layout": key,
+        "bytes_per_layer": volumes[key].bytes_per_layer,
+        "calls_per_layer": volumes[key].calls_per_layer,
+        "scaling": volumes[key].scaling,
+        "exposed_seconds_per_layer": choice.seconds_per_layer[key],
+        "excluded": choice.excluded.get(key),
+        "chosen": key == choice.layout,
+    } for key in ("sp_allgather", "ulysses", "ring")]
+
+
+def table6_report(model_name: str = "22B", context_parallel: int = 8,
+                  microbatch_size: int = 1,
+                  seq_length: Optional[int] = None) -> str:
+    rows = table6_data(model_name, context_parallel, microbatch_size,
+                       seq_length=seq_length)
+    shown_seq = seq_length or PAPER_CONFIGS[model_name].model.seq_length
+    table_rows = [
+        (r["layout"],
+         fmt_bytes(r["bytes_per_layer"]),
+         str(r["calls_per_layer"]),
+         r["scaling"],
+         seconds(r["exposed_seconds_per_layer"]),
+         "chosen" if r["chosen"] else (r["excluded"] or ""))
+        for r in rows
+    ]
+    return format_table(
+        ["layout", "bytes/layer", "calls", "scaling", "exposed s", ""],
+        table_rows,
+        title=(f"Table 6 (extension): context-layout comm volume, "
+               f"{model_name} at s={shown_seq}, p={context_parallel}, "
+               f"b={microbatch_size}"),
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -54,6 +54,19 @@ def _causal_keep(shape) -> Tuple[np.ndarray, np.ndarray]:
     return pair
 
 
+def _offset_keep(rows: int, cols: int,
+                 offset: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-blocked causal keep mask (ring attention panels); see
+    :class:`repro.tensor.functions.OffsetCausalMask`."""
+    key = (rows, cols, offset)
+    pair = _TRIL_CACHE.get(key)
+    if pair is None:
+        keep = np.tril(np.ones((rows, cols), dtype=bool), k=offset)
+        pair = (keep, ~keep)
+        _TRIL_CACHE[key] = pair
+    return pair
+
+
 def _draw_masks(fctx: FnCtx, p: float, mode: str, shard_axis: int, tag: str,
                 mask_source: Optional[MaskSource], shape, world: int,
                 abstract: bool) -> ShardList:
@@ -190,13 +203,19 @@ class ScaleMaskSoftmaxDropout(Function):
     mask (``"dropout_mask"``) — exactly what the unfused
     scale -> causal_mask -> softmax -> dropout chain saves, in the same
     order.  Bitwise identical to that chain at equal seeds.
+
+    ``ring=True`` switches the causal mask to the row-blocked variant of
+    :class:`repro.tensor.functions.OffsetCausalMask`: scores are
+    ``(..., s/w, s)`` panels (ring attention), and rank ``r``'s tril is
+    shifted by ``r * s/w`` rows.  With one shard the two modes coincide.
     """
 
     name = "scale_mask_softmax_dropout"
 
     def __init__(self, scale: float, p: float, mode: str = "replicated",
                  shard_axis: int = 1, tag: str = "",
-                 mask_source: Optional[MaskSource] = None):
+                 mask_source: Optional[MaskSource] = None,
+                 ring: bool = False):
         _check_dropout_args(p, mode)
         self.scale = float(scale)
         self.p = p
@@ -204,21 +223,32 @@ class ScaleMaskSoftmaxDropout(Function):
         self.shard_axis = shard_axis
         self.tag = tag
         self.mask_source = mask_source
+        self.ring = ring
+
+    def _keep(self, shape, rank: int) -> Tuple[np.ndarray, np.ndarray]:
+        if self.ring:
+            return _offset_keep(shape[-2], shape[-1], rank * shape[-2])
+        return _causal_keep(shape)
 
     def forward(self, fctx: FnCtx, x: ShardList) -> ShardList:
         arena = default_arena()
         shape = bk.shape_of(x[0])
-        if len(shape) < 2 or shape[-1] != shape[-2]:
+        world = len(x)
+        if self.ring:
+            if len(shape) < 2 or shape[-1] != shape[-2] * world:
+                raise ShapeError(
+                    f"ring mask needs (..., s/w, s) scores across w={world} "
+                    f"shards, got {shape}")
+        elif len(shape) < 2 or shape[-1] != shape[-2]:
             raise ShapeError(f"causal mask needs (..., s, s) scores, got {shape}")
         abstract = bk.is_abstract(x[0])
-        world = len(x)
         has_dropout = not (self.p == 0.0 and self.mask_source is None)
         y_list = []
         if abstract:
             y_list = [bk.AbstractArray(shape) for _ in range(world)]
         else:
-            keep_tril, masked_tril = _causal_keep(shape)
-            for xi in x:
+            for r, xi in enumerate(x):
+                _, masked_tril = self._keep(shape, r)
                 t = arena.take(shape)
                 np.multiply(xi, self.scale, out=t)
                 np.copyto(t, _MASKED_VALUE, where=masked_tril)
@@ -275,12 +305,12 @@ class ScaleMaskSoftmaxDropout(Function):
                                  bytes_moved=6 * n, flops_per_rank=6 * n,
                                  fused=True)
         out = []
-        for g, yi, m in zip(grad, y_list, masks):
+        for r, (g, yi, m) in enumerate(zip(grad, y_list, masks)):
             if bk.is_abstract(g) or bk.is_abstract(yi):
                 out.append(bk.AbstractArray(bk.shape_of(yi)))
                 continue
             shape = yi.shape
-            keep_tril, _ = _causal_keep(shape)
+            keep_tril, _ = self._keep(shape, r)
             t1 = arena.take(shape)
             if has_dropout:
                 np.multiply(g, m, out=t1)
@@ -304,11 +334,12 @@ class ScaleMaskSoftmaxDropout(Function):
 def scale_mask_softmax_dropout(x: Tensor, scale: float, p: float,
                                mode: str = "replicated", shard_axis: int = 1,
                                tag: str = "",
-                               mask_source: Optional[MaskSource] = None) -> Tensor:
+                               mask_source: Optional[MaskSource] = None,
+                               ring: bool = False) -> Tensor:
     """Fused ``dropout(softmax(causal_mask(x * scale)))``."""
     return apply(ScaleMaskSoftmaxDropout(scale, p, mode=mode,
                                          shard_axis=shard_axis, tag=tag,
-                                         mask_source=mask_source), x)
+                                         mask_source=mask_source, ring=ring), x)
 
 
 # ---------------------------------------------------------------------------

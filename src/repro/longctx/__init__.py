@@ -1,0 +1,52 @@
+"""Long-context parallelism: Ulysses head-sequence re-sharding, ring
+attention, and recompute/communication overlap (arXiv 2406.08756).
+
+The sequence dimension is sharded across a ``"cp"``
+:class:`~repro.comm.ProcessGroup`; attention sees the full sequence via
+all-to-alls (Ulysses) or ring P2P hops, both verified bitwise against
+the serial model.  See ``docs/long_context.md``.
+"""
+
+from .attention import (
+    ReplicatedLinear,
+    RingCoreAttention,
+    RingSelfAttention,
+    UlyssesSelfAttention,
+)
+from .mappings import (
+    AllToAll,
+    RingGather,
+    all_to_all_head_to_seq,
+    all_to_all_seq_to_head,
+    overlap_active,
+    recompute_overlap_scope,
+    ring_gather,
+)
+from .model import (
+    LAYOUTS,
+    LongContextEmbedding,
+    LongContextGPTModel,
+    LongContextLMHead,
+    LongContextMLP,
+    LongContextTransformerLayer,
+)
+from .volume import (
+    LayoutVolume,
+    layout_volumes,
+    ring_layer_bytes,
+    ring_selective_extra_bytes,
+    sp_layer_bytes,
+    ulysses_layer_bytes,
+    ulysses_selective_extra_bytes,
+)
+
+__all__ = [
+    "AllToAll", "LAYOUTS", "LayoutVolume", "LongContextEmbedding",
+    "LongContextGPTModel", "LongContextLMHead", "LongContextMLP",
+    "LongContextTransformerLayer", "ReplicatedLinear", "RingCoreAttention",
+    "RingGather", "RingSelfAttention", "UlyssesSelfAttention",
+    "all_to_all_head_to_seq", "all_to_all_seq_to_head", "layout_volumes",
+    "overlap_active", "recompute_overlap_scope", "ring_gather",
+    "ring_layer_bytes", "ring_selective_extra_bytes", "sp_layer_bytes",
+    "ulysses_layer_bytes", "ulysses_selective_extra_bytes",
+]

@@ -1,0 +1,236 @@
+"""Ulysses and ring attention variants over a context-parallel group.
+
+Both keep activations sequence-sharded ``(s/p, b, h)`` outside the
+attention core and differ only in how the core sees the full sequence:
+
+* **Ulysses** (DeepSpeed-Ulysses): an all-to-all turns the sequence
+  shards into head shards ``(s, b, h/p)``, the unchanged
+  :class:`~repro.layers.attention.CoreAttention` runs with ``a/p`` local
+  heads (exactly the tensor-parallel head layout, so the proven-bitwise
+  math is reused verbatim), and a second all-to-all restores sequence
+  shards.  Per-layer traffic is 4 all-to-alls of ``O(s/p)`` bytes each —
+  versus the ``O(s)`` all-gather/reduce-scatter pairs of sequence
+  parallelism.
+* **Ring attention**: Q stays sequence-sharded; K and V circulate around
+  the ring (:class:`~repro.longctx.mappings.RingGather`) so each rank
+  scores its ``s/p`` query rows against the full key sequence.  The
+  causal mask becomes the row-blocked
+  :func:`~repro.tensor.functions.offset_causal_mask`, and the softmax
+  dropout mask is the rank's row-slice of the serial ``(b, a, s, s)``
+  draw — making the whole panel bitwise equal to the serial rows.
+
+Weights are replicated (context parallelism shards *data*, not the
+model): :class:`ReplicatedLinear` carries the serial reference weights
+on every rank, and the model's ``finish_grad_sync`` all-reduces their
+per-chunk partial gradients.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..comm.process_group import ProcessGroup
+from ..fusion.ops import scale_mask_softmax_dropout
+from ..layers.attention import CoreAttention
+from ..layers.dropout import Dropout
+from ..layers.module import Module
+from ..tensor import FP16, Tensor, checkpoint, parameter
+from ..tensor import functions as F
+from ..tensor.backend import AbstractArray
+from ..tensor.functions import MaskSource
+from .mappings import (
+    all_to_all_head_to_seq,
+    all_to_all_seq_to_head,
+    ring_gather,
+)
+
+
+class ReplicatedLinear(Module):
+    """``y = x @ W + b`` with the serial reference weights on every rank.
+
+    Context parallelism replicates the model, so each rank multiplies its
+    sequence chunk by the *same* weights; weight gradients come out as
+    per-chunk partial sums that ``finish_grad_sync`` all-reduces.
+    """
+
+    def __init__(self, in_features: int, out_features: int, world: int,
+                 weight: Optional[np.ndarray] = None,
+                 bias: Optional[np.ndarray] = None, has_bias: bool = True,
+                 abstract: bool = False, category: str = "linear_input",
+                 name: str = "linear"):
+        self.category = category
+        self.name = name
+        if abstract:
+            w_shards = [AbstractArray((in_features, out_features))
+                        for _ in range(world)]
+        else:
+            assert weight is not None
+            w_shards = [weight] * world
+        self.weight = parameter(w_shards, dtype=FP16, layout="replicated",
+                                name=f"{name}.weight")
+        self.bias: Optional[Tensor] = None
+        if has_bias:
+            if abstract:
+                b_shards = [AbstractArray((out_features,))
+                            for _ in range(world)]
+            else:
+                assert bias is not None
+                b_shards = [bias] * world
+            self.bias = parameter(b_shards, dtype=FP16, layout="replicated",
+                                  name=f"{name}.bias")
+
+    def forward(self, x: Tensor, skip_bias_add: bool = False) -> Tensor:
+        y = F.matmul(x, self.weight, category=self.category)
+        if self.bias is not None and not skip_bias_add:
+            y = F.add(y, self.bias)
+        return y
+
+
+def _qkvo(hidden_size: int, world: int, serial_weights: Optional[dict],
+          abstract: bool, tag: str):
+    """The four replicated attention projections, serial-initialised."""
+    sw = serial_weights or {}
+    def lin(w, b, category, name):
+        return ReplicatedLinear(hidden_size, hidden_size, world,
+                                weight=sw.get(w), bias=sw.get(b),
+                                abstract=abstract, category=category,
+                                name=f"{tag}.{name}")
+    return (lin("wq", "bq", "attn_qkv_input", "wq"),
+            lin("wk", "bk", "attn_qkv_input", "wk"),
+            lin("wv", "bv", "attn_qkv_input", "wv"),
+            lin("wo", "bo", "attn_proj_input", "wo"))
+
+
+class UlyssesSelfAttention(Module):
+    """Sequence-sharded attention via head-sequence all-to-alls.
+
+    ``recompute_core=True`` (selective recomputation) checkpoints the
+    region *including* the all-to-alls, so the forward re-shards replay
+    during backward inside the recompute phase — where
+    :func:`~repro.longctx.mappings.recompute_overlap_scope` can overlap
+    them.  Checkpoint inputs are the three sequence-sharded Q/K/V.
+    """
+
+    def __init__(self, hidden_size: int, num_heads: int, group: ProcessGroup,
+                 attention_dropout: float = 0.1, recompute_core: bool = False,
+                 serial_weights: Optional[dict] = None, abstract: bool = False,
+                 tag: str = "attn", mask_source: Optional[MaskSource] = None,
+                 fused: bool = False):
+        p = group.size
+        if num_heads % p != 0:
+            raise ConfigError(
+                f"Ulysses needs num_heads ({num_heads}) divisible by the "
+                f"context-parallel size ({p})")
+        self.group = group
+        self.tag = tag
+        self.recompute_core = recompute_core
+        self.wq, self.wk, self.wv, self.wo = _qkvo(
+            hidden_size, p, serial_weights, abstract, tag)
+        # The head-sharded layout after the all-to-all is exactly the
+        # tensor-parallel one, so the serial core runs unchanged with a/p
+        # local heads and the head-sliced dropout mask.
+        self.core = CoreAttention(num_heads // p, attention_dropout,
+                                  head_shard_mode="sharded", tag=tag,
+                                  mask_source=mask_source, fused=fused)
+
+    def _core_region(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        qh = all_to_all_seq_to_head(q, self.group, label="a2a_q")
+        kh = all_to_all_seq_to_head(k, self.group, label="a2a_k")
+        vh = all_to_all_seq_to_head(v, self.group, label="a2a_v")
+        ctxt = self.core(qh, kh, vh)
+        return all_to_all_head_to_seq(ctxt, self.group, label="a2a_ctx")
+
+    def forward(self, x: Tensor) -> Tensor:
+        q, k, v = self.wq(x), self.wk(x), self.wv(x)
+        if self.recompute_core:
+            ctxt = checkpoint(self._core_region, q, k, v,
+                              label=f"{self.tag}.core")
+        else:
+            ctxt = self._core_region(q, k, v)
+        return self.wo(ctxt)
+
+
+class RingCoreAttention(Module):
+    """Blockwise attention core: local query rows against ring-gathered K/V.
+
+    Scores are ``(b, a, s/p, s)`` panels — row ``i`` on rank ``r`` is
+    global row ``r*s/p + i``, masked by the offset tril and normalised
+    rowwise, so every rank's panel is bitwise the corresponding rows of
+    the serial ``(b, a, s, s)`` core.
+    """
+
+    def __init__(self, num_heads: int, group: ProcessGroup,
+                 attention_dropout: float, tag: str = "core",
+                 mask_source: Optional[MaskSource] = None,
+                 fused: bool = False):
+        self.num_heads = num_heads
+        self.group = group
+        self.fused = fused
+        # Rows (axis 2) are sequence-sharded; full shape is the serial
+        # (b, a, s, s), so the same tag draws the same serial mask.
+        self.dropout = Dropout(attention_dropout, mode="sharded",
+                               shard_axis=2, tag=f"{tag}.softmax_dropout",
+                               mask_source=mask_source)
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        s_local, b, h = q.shape
+        a = self.num_heads
+        d = h // a
+        s = s_local * self.group.size
+        k_full = ring_gather(k, self.group, axis=0, label="ring_k")
+        v_full = ring_gather(v, self.group, axis=0, label="ring_v")
+        qr = F.transpose(F.reshape(q, (s_local, b, a, d)), (1, 2, 0, 3))
+        kt = F.transpose(F.reshape(k_full, (s, b, a, d)), (1, 2, 3, 0))
+        vr = F.transpose(F.reshape(v_full, (s, b, a, d)), (1, 2, 0, 3))
+        scores = F.matmul(qr, kt, category="attn_qk")
+        if self.fused:
+            dp = self.dropout
+            probs = scale_mask_softmax_dropout(
+                scores, 1.0 / math.sqrt(d), dp.p, mode=dp.mode,
+                shard_axis=dp.shard_axis, tag=dp.tag,
+                mask_source=dp.mask_source, ring=True)
+        else:
+            scores = F.scale(scores, 1.0 / math.sqrt(d))
+            scores = F.offset_causal_mask(scores)
+            probs = F.softmax(scores)
+            probs = self.dropout(probs)
+        ctxt = F.matmul(probs, vr, category="attn_context")
+        ctxt = F.transpose(ctxt, (2, 0, 1, 3))
+        return F.reshape(ctxt, (s_local, b, h))
+
+
+class RingSelfAttention(Module):
+    """Projections + ring attention core + output projection.
+
+    ``recompute_core=True`` checkpoints the core including the ring
+    gathers: only the local Q/K/V chunks are stored, and the ``p-1``
+    K/V hops replay inside the recompute phase (overlappable)."""
+
+    def __init__(self, hidden_size: int, num_heads: int, group: ProcessGroup,
+                 attention_dropout: float = 0.1, recompute_core: bool = False,
+                 serial_weights: Optional[dict] = None, abstract: bool = False,
+                 tag: str = "attn", mask_source: Optional[MaskSource] = None,
+                 fused: bool = False):
+        if hidden_size % num_heads != 0:
+            raise ConfigError("hidden_size must be divisible by num_heads")
+        self.group = group
+        self.tag = tag
+        self.recompute_core = recompute_core
+        self.wq, self.wk, self.wv, self.wo = _qkvo(
+            hidden_size, group.size, serial_weights, abstract, tag)
+        self.core = RingCoreAttention(num_heads, group, attention_dropout,
+                                      tag=tag, mask_source=mask_source,
+                                      fused=fused)
+
+    def forward(self, x: Tensor) -> Tensor:
+        q, k, v = self.wq(x), self.wk(x), self.wv(x)
+        if self.recompute_core:
+            ctxt = checkpoint(self.core.forward, q, k, v,
+                              label=f"{self.tag}.core")
+        else:
+            ctxt = self.core(q, k, v)
+        return self.wo(ctxt)

@@ -209,6 +209,103 @@ def term_group_categories(recompute: RecomputeLike) -> Dict[str, tuple]:
     }
 
 
+# ---------------------------------------------------------------------------
+# Context-parallel (long-context) layouts: Ulysses and ring attention
+# ---------------------------------------------------------------------------
+
+def longctx_per_layer_activation_bytes(
+    model: ModelConfig,
+    microbatch_size: int,
+    context_parallel: int,
+    layout: str = "ulysses",
+    recompute: RecomputeLike = Recompute.NONE,
+) -> float:
+    """Activation bytes per layer per rank under p-way context parallelism.
+
+    ==============================  ======================================
+    Ulysses, no recompute           ``sbh/p (34 + 5as/h)``  (Eq 4, t -> p)
+    ring, no recompute              ``sbh/p (30 + 4p + 5as/h)``
+    selective recompute (both)      ``sbh 34/p``
+    full recompute (both)           ``sbh 2/p``
+    ==============================  ======================================
+
+    Ulysses lands exactly on the sequence-parallel Equation 4 with the
+    context-parallel size in place of ``t``: every tensor — including
+    the head-sharded attention internals — is a ``1/p`` shard.  Ring
+    attention instead materializes the ring-gathered full-sequence K and
+    V on each rank (this simulator's gather; a streaming ring holds only
+    one block at a time), swapping the ``8sbh/p`` K/V-side terms for
+    ``4sbh + 4sbh/p``.  Selective recomputation checkpoints the core
+    *including* the re-shard, so both layouts store just the local Q/K/V
+    chunks (``6sbh/p``) and the layouts coincide.
+    """
+    return sum(longctx_per_layer_term_groups(
+        model, microbatch_size, context_parallel, layout, recompute).values())
+
+
+def longctx_per_layer_term_groups(
+    model: ModelConfig,
+    microbatch_size: int,
+    context_parallel: int,
+    layout: str = "ulysses",
+    recompute: RecomputeLike = Recompute.NONE,
+) -> Dict[str, float]:
+    """Analytic per-layer bytes per observable term group (context
+    parallelism), on the same group names as :func:`per_layer_term_groups`
+    so :func:`term_group_categories` applies unchanged — the basis of the
+    ``longctx_memory_term_drift`` crosscheck."""
+    return dict(_longctx_per_layer_term_groups(
+        model, microbatch_size, context_parallel, layout,
+        Recompute(recompute)))
+
+
+@lru_cache(maxsize=4096)
+def _longctx_per_layer_term_groups(
+    model: ModelConfig,
+    microbatch_size: int,
+    context_parallel: int,
+    layout: str,
+    recompute: Recompute,
+) -> Dict[str, float]:
+    if layout not in ("ulysses", "ring"):
+        raise ConfigError(f"unknown context layout {layout!r}")
+    s, b, h, a = (model.seq_length, microbatch_size, model.hidden_size,
+                  model.num_heads)
+    p = context_parallel
+    if p < 1:
+        raise ConfigError("context_parallel must be >= 1")
+    sbh = float(s * b * h)
+    rep = sbh / p                 # every sequence-sharded 1-byte-unit term
+    core = float(a * s * s * b) / p  # attention-core elements per rank
+    if recompute in (Recompute.FULL, Recompute.FULL_SHARDED):
+        # The layer input is already a sequence chunk.
+        return {"checkpoint_input": 2.0 * rep}
+    if recompute == Recompute.SELECTIVE:
+        # Checkpointed core (re-shard included): local Q, K, V chunks.
+        attention = 6.0 * rep
+        mask_bytes = 0.0
+    elif layout == "ulysses":
+        # QK^T saves head-sharded Q+K (4sbh/p); softmax output 2as^2b/p;
+        # context matmul saves probs (2as^2b/p) + head-sharded V (2sbh/p).
+        attention = 6.0 * rep + 4.0 * core
+        mask_bytes = core
+    else:
+        # Ring: Q is a chunk (2sbh/p) but K and V are the ring-gathered
+        # full sequence (2sbh each).
+        attention = 2.0 * rep + 4.0 * sbh + 4.0 * core
+        mask_bytes = core
+    return {
+        "layernorm_inputs": 4.0 * rep,
+        "attn_qkv_input": 2.0 * rep,
+        "attn_qkv_and_core": attention,
+        "attn_proj_input": 2.0 * rep,
+        "dropout_masks": 2.0 * rep + mask_bytes,
+        "mlp_fc1_input": 2.0 * rep,
+        "mlp_gelu_input": 8.0 * rep,
+        "mlp_fc2_input": 8.0 * rep,
+    }
+
+
 def interleave_memory_factor(pipeline_parallel: int, interleave_stages: int) -> float:
     """The ``(1 + (p-1)/(pm))`` first-stage multiplier of Section 4.2.3."""
     p, m = pipeline_parallel, interleave_stages

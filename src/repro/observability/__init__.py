@@ -57,6 +57,7 @@ from .analysis import (
     from_chrome_events,
     from_tracer,
     load_trace,
+    longctx_memory_term_drift,
     memory_drift_report,
     memory_term_drift,
     schedule_critical_path,
@@ -132,7 +133,8 @@ __all__ = [
     "counter_events", "dump_json", "dumps_json", "export_trace",
     "flamegraph", "from_chrome_events", "from_tracer", "frontier",
     "frontier_by_category", "install_memprof", "install_tracer",
-    "ledger_document", "load_trace", "memory_drift_report",
+    "ledger_document", "load_trace", "longctx_memory_term_drift",
+    "memory_drift_report",
     "memory_term_drift", "memprof_scope", "merged_trace",
     "paged_kv_fragmentation", "partition_error", "peak_attribution",
     "profile_layer", "reconcile_quantiles", "rehome_events", "run_preset",

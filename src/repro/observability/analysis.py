@@ -488,6 +488,42 @@ def memory_term_drift(model, microbatch_size: int, tensor_parallel: int,
         measured=measured, predicted=predicted, unmapped=unmapped)
 
 
+def longctx_memory_term_drift(model, microbatch_size: int,
+                              context_parallel: int, layout: str,
+                              recompute: Recompute,
+                              fused: bool = False) -> MemoryTermDrift:
+    """:func:`memory_term_drift` for the context-parallel layouts: run one
+    abstract Ulysses/ring layer forward and match its saved bytes against
+    the ``longctx_*`` closed forms.  Zero drift on every
+    (layout, recompute, fused) cell — asserted in ``tests/test_longctx.py``
+    and gated by the ``longctx`` bench preset."""
+    from ..comm.process_group import ProcessGroup
+    from ..longctx.model import LongContextTransformerLayer
+    from ..memory_model import longctx_per_layer_term_groups
+    from ..tensor import MemoryTracker, Tensor, instrument, seed
+    from ..tensor.backend import AbstractArray
+
+    recompute = Recompute(recompute)
+    p = context_parallel
+    seed(0)
+    layer = LongContextTransformerLayer(
+        model.hidden_size, model.num_heads, ProcessGroup(p, scope="cp"),
+        layout=layout, recompute=recompute, abstract=True, fused=fused)
+    s, b, h = model.seq_length, microbatch_size, model.hidden_size
+    x = Tensor([AbstractArray((s // p, b, h)) for _ in range(p)],
+               requires_grad=True, layout="shard(dim=0)")
+    tracker = MemoryTracker()
+    with instrument(memory=tracker):
+        layer(x)
+    measured, unmapped = group_measured_categories(
+        tracker.category_breakdown(0), recompute)
+    predicted = longctx_per_layer_term_groups(model, microbatch_size, p,
+                                              layout, recompute)
+    return MemoryTermDrift(
+        sequence_parallel=False, recompute=recompute,
+        measured=measured, predicted=predicted, unmapped=unmapped)
+
+
 MEMORY_DRIFT_CASES = (
     (False, Recompute.NONE),
     (True, Recompute.NONE),

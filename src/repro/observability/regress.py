@@ -38,7 +38,7 @@ from .serialize import dumps_json, to_jsonable
 SCHEMA_VERSION = 1
 
 PRESET_NAMES = ("tiny", "small", "chaos", "substrate", "serve",
-                "chaos_serve", "fleet_obs", "memprof")
+                "chaos_serve", "fleet_obs", "memprof", "longctx")
 
 DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
 
@@ -123,6 +123,15 @@ TOLERANCES: Tuple[Tuple[str, Tuple[str, float]], ...] = (
     # ride the simulated clock and must be exactly reproducible —
     # precision/recall at literally 1.0, gap/overlap at literally 0.0.
     ("telemetry.", ("exact", 0)),
+    # The long-context gate: interleaving checkpoint-segment recompute
+    # with in-flight collectives must keep the analytic exposed-comm
+    # reduction at or above 1.2x on both layouts; everything else —
+    # serial-loss and overlap-loss drift (literally 0.0), traced comm
+    # bytes against the closed-form volumes, per-term memory drift,
+    # attribution buckets and the trace fingerprints — rides the
+    # simulated clock and deterministic mask streams and is exact.
+    ("longctx.overlap_reduction", ("floor", 1.2)),
+    ("longctx.", ("exact", 0)),
     ("wall_time_s", ("rel", 0.05)),
     ("iteration_time_s", ("rel", 0.05)),
     ("", ("rel", 0.02)),  # default
@@ -1025,6 +1034,137 @@ def _run_memprof_preset(seed_value: int, steps: int) -> dict:
     return doc
 
 
+def _run_longctx_preset(seed_value: int, steps: int) -> dict:
+    """Trace the context-parallel layouts (Ulysses and ring, p=2, full
+    recompute) twice each — recompute/comm overlap off and on — and
+    reduce both to one gated document: serial-loss drift and
+    overlap-loss drift must be literally 0.0, the traced collective
+    bytes must equal the closed-form per-layout volumes exactly, the
+    per-term memory reconciliation must be drift-free, and the analytic
+    exposed-comm reduction must clear the 1.2x floor."""
+    import numpy as np
+
+    from ..config import ModelConfig
+    from ..layers import GPTModel, token_tensor
+    from ..longctx import (
+        LongContextGPTModel,
+        recompute_overlap_scope,
+        ring_layer_bytes,
+        ring_selective_extra_bytes,
+        ulysses_layer_bytes,
+        ulysses_selective_extra_bytes,
+    )
+    from ..pipeline_sim import longctx_overlap_report
+    from ..planner import choose_context_layout
+    from ..tensor.functions import MaskSource
+    from .analysis import attribute, from_tracer, longctx_memory_term_drift
+    from .tracer import Tracer, trace_scope
+
+    p, b = 2, 2
+    recompute = Recompute.FULL
+    model_cfg = ModelConfig(num_layers=2, hidden_size=32, num_heads=4,
+                            seq_length=16, vocab_size=64,
+                            name="trace-longctx")
+
+    def traced_run(layout: str, overlap: bool):
+        ms = MaskSource(seed=seed_value + 1, keep_prob=0.9)
+        serial = GPTModel(model_cfg, seed=seed_value, mask_source=ms)
+        rng = np.random.default_rng(seed_value + 2)
+        ids = rng.integers(0, model_cfg.vocab_size,
+                           size=(model_cfg.seq_length, b)).astype(np.int64)
+        tgt = rng.integers(0, model_cfg.vocab_size,
+                           size=(model_cfg.seq_length, b)).astype(np.int64)
+        serial_loss = serial(token_tensor(ids), token_tensor(tgt)).item()
+        model = LongContextGPTModel(model_cfg, context_parallel=p,
+                                    layout=layout, recompute=recompute,
+                                    mask_source=ms, serial=serial)
+        tracer = Tracer()
+        with trace_scope(tracer):
+            if overlap:
+                with recompute_overlap_scope():
+                    loss = model(token_tensor(ids, world=p),
+                                 token_tensor(tgt, world=p))
+                    loss.backward()
+            else:
+                loss = model(token_tensor(ids, world=p),
+                             token_tensor(tgt, world=p))
+                loss.backward()
+        model.finish_grad_sync()
+        return tracer, loss.item(), serial_loss
+
+    layouts_doc: Dict[str, dict] = {}
+    reductions: Dict[str, float] = {}
+    hashes: List[str] = []
+    wall = 0.0
+    counts: Dict[str, dict] = {}
+    for layout in ("ulysses", "ring"):
+        tracer_off, loss_off, serial_loss = traced_run(layout, overlap=False)
+        tracer_on, loss_on, _ = traced_run(layout, overlap=True)
+        data_off = from_tracer(tracer_off)
+        data_on = from_tracer(tracer_on)
+        att_off = attribute(data_off)
+        att_on = attribute(data_on)
+
+        comm = [s for s in data_on.spans if s.subsystem == "comm"]
+        if layout == "ulysses":
+            traced_bytes = sum(s.args["bytes"] for s in comm
+                               if s.name == "all_to_all")
+            expected = int(model_cfg.num_layers * (
+                ulysses_layer_bytes(model_cfg, b, p)
+                + ulysses_selective_extra_bytes(model_cfg, b, p)))
+        else:
+            traced_bytes = sum(s.args["bytes"] for s in comm
+                               if "hop" in s.name)
+            expected = int(model_cfg.num_layers * (
+                ring_layer_bytes(model_cfg, b, p)
+                + ring_selective_extra_bytes(model_cfg, b, p)))
+
+        drift = longctx_memory_term_drift(model_cfg, b, p, layout, recompute)
+        overlap_report = longctx_overlap_report(model_cfg, b, p, layout,
+                                                recompute)
+        reductions[layout] = overlap_report.exposed_reduction
+        hashes.append(trace_hash(tracer_off))
+        hashes.append(trace_hash(tracer_on))
+        wall += data_on.wall
+        counts[layout] = {
+            "spans": len(tracer_on.spans),
+            "instants": len(tracer_on.instants),
+            "collectives": len(comm),
+        }
+        layouts_doc[layout] = {
+            "loss": loss_on,
+            "serial_loss_drift": abs(loss_off - serial_loss),
+            "overlap_loss_drift": abs(loss_on - loss_off),
+            "traced_comm_bytes": traced_bytes,
+            "expected_comm_bytes": expected,
+            "volume_exact": traced_bytes == expected,
+            "memory_drift_bytes": drift.total_drift,
+            "attribution": {
+                "serial_exposed_s": att_off.totals["exposed_comm"],
+                "exposed_s": att_on.totals["exposed_comm"],
+                "overlapped_s": att_on.totals["overlapped_comm"],
+                "conservation_error": abs(
+                    att_on.totals["exposed_comm"]
+                    + att_on.totals["overlapped_comm"]
+                    - att_off.totals["exposed_comm"]
+                    - att_off.totals["overlapped_comm"]),
+                "coverage_error": att_on.coverage_error,
+            },
+            "analytic_speedup": overlap_report.speedup,
+        }
+
+    doc = _base_doc("longctx", seed_value, steps, model_cfg, 1, 1)
+    doc["config"]["context_parallel"] = p
+    doc["wall_time_s"] = wall
+    doc["longctx"] = dict(layouts_doc)
+    doc["longctx"]["overlap_reduction"] = reductions
+    doc["longctx"]["chooser_pick"] = choose_context_layout(
+        model_cfg, b, p).layout
+    doc["counts"] = counts
+    doc["trace_hash"] = hashlib.sha256("".join(hashes).encode()).hexdigest()
+    return doc
+
+
 def _base_doc(preset: str, seed_value: int, steps: int, model_cfg,
               tp: int, pp: int) -> dict:
     return {
@@ -1063,6 +1203,8 @@ def run_preset(preset: str, seed_value: int = 1234, steps: int = 2) -> dict:
         return _run_fleet_obs_preset(seed_value, steps)
     if preset == "memprof":
         return _run_memprof_preset(seed_value, steps)
+    if preset == "longctx":
+        return _run_longctx_preset(seed_value, steps)
     if preset not in TRACE_PRESETS:
         raise ValueError(f"unknown preset {preset!r}; "
                          f"expected one of {PRESET_NAMES}")

@@ -10,11 +10,20 @@ from .schedule import (
 )
 from .simulator import PipelineCosts, SimResult, simulate
 from .chrome_trace import chrome_trace_events, export_chrome_trace
+from .overlap import (
+    OverlapResult,
+    OverlapSegment,
+    longctx_overlap_report,
+    longctx_overlap_segments,
+    schedule_overlap,
+)
 from .timeline import TimelineCosts, figure10, op_dependency, render_timeline
 
 __all__ = [
-    "Op", "OpKind", "PipelineCosts", "SimResult", "TimelineCosts",
-    "chrome_trace_events", "export_chrome_trace", "figure10",
-    "op_dependency", "rank_of_group", "render_timeline", "schedule_1f1b",
-    "schedule_interleaved", "simulate", "validate_schedule",
+    "Op", "OpKind", "OverlapResult", "OverlapSegment", "PipelineCosts",
+    "SimResult", "TimelineCosts", "chrome_trace_events",
+    "export_chrome_trace", "figure10", "longctx_overlap_report",
+    "longctx_overlap_segments", "op_dependency", "rank_of_group",
+    "render_timeline", "schedule_1f1b", "schedule_interleaved", "simulate",
+    "schedule_overlap", "validate_schedule",
 ]

@@ -1,13 +1,18 @@
 """Memory-budget-driven recomputation planning (paper Section 5)."""
 
 from .planner import (
+    CONTEXT_LAYOUT_PREFERENCE,
+    ContextLayoutChoice,
     FleetCapacity,
     PlanOption,
+    choose_context_layout,
     enumerate_options,
     plan,
     plan_fleet_capacity,
     replan_after_shrink,
 )
 
-__all__ = ["FleetCapacity", "PlanOption", "enumerate_options", "plan",
-           "plan_fleet_capacity", "replan_after_shrink"]
+__all__ = ["CONTEXT_LAYOUT_PREFERENCE", "ContextLayoutChoice",
+           "FleetCapacity", "PlanOption", "choose_context_layout",
+           "enumerate_options", "plan", "plan_fleet_capacity",
+           "replan_after_shrink"]

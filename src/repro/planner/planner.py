@@ -172,6 +172,97 @@ def plan(config: ExperimentConfig,
     )
 
 
+#: Deterministic tie-break order for :func:`choose_context_layout`.  On
+#: equal priced seconds (e.g. ring vs the baseline at p=2, where the
+#: fill hop costs exactly the full collective) prefer the layouts whose
+#: per-rank volume shrinks with the group — they stay cheap if the
+#: sequence grows.
+CONTEXT_LAYOUT_PREFERENCE = ("ring", "ulysses", "sp_allgather")
+
+
+@dataclass(frozen=True)
+class ContextLayoutChoice:
+    """Outcome of pricing the context layouts for one model shape."""
+
+    layout: str                          # winner
+    context_parallel: int
+    seconds_per_layer: dict              # layout -> priced comm seconds
+    bytes_per_layer: dict                # layout -> closed-form traced bytes
+    excluded: dict                       # layout -> reason string
+
+    @property
+    def seconds(self) -> float:
+        return self.seconds_per_layer[self.layout]
+
+
+def choose_context_layout(model, microbatch_size: int, context_parallel: int,
+                          cost=None) -> ContextLayoutChoice:
+    """Pick the cheapest context layout by priced per-layer comm seconds.
+
+    Candidates are the all-gather sequence-parallel baseline (four
+    full-``2sbh`` collectives per layer), Ulysses (eight ``2sbh/p``
+    all-to-alls) and ring attention (``4(p-1)`` ``2sbh/p`` P2P hops),
+    priced as **exposed** per-layer seconds on the same ``"cp"``-scope
+    links by :class:`~repro.comm.CollectiveCostModel`.  The baseline's
+    collectives and Ulysses' all-to-alls block (the core cannot start
+    until the re-shard lands); ring hops are prefetched one chunk ahead
+    of the blockwise core, so in steady state only launch + link
+    latency is exposed — each gather pays full price for its pipeline
+    fill hop only.
+
+    Short sequences are overhead-bound, so the baseline's four calls
+    win; as ``seq_length`` grows its full-tensor volume dominates and
+    the O(s/p) layouts take over — Ulysses first (fewer launches),
+    ring once volume dwarfs even the shard-sized all-to-alls, and ring
+    whenever ``num_heads`` is not divisible by the group (Ulysses
+    shards heads; ring shards sequence only).  Ties break
+    deterministically via :data:`CONTEXT_LAYOUT_PREFERENCE`.
+    """
+    from ..comm.cost_model import CollectiveCostModel
+    from ..longctx.volume import layout_volumes
+
+    p = context_parallel
+    if p < 1:
+        raise PlanningError(f"context_parallel must be >= 1, got {p}")
+    if model.seq_length % p:
+        raise PlanningError(
+            f"seq_length {model.seq_length} not divisible by "
+            f"context_parallel {p}")
+    comm = cost if cost is not None else CollectiveCostModel()
+    volumes = layout_volumes(model, microbatch_size, p)
+
+    full = 2 * model.seq_length * microbatch_size * model.hidden_size
+    shard = full // p
+    if p > 1:
+        # 4 gathers (K, V, forward + backward): one full-price fill hop
+        # each, then p-2 steady hops whose volume hides under the
+        # previous chunk's attention compute (launch + latency exposed).
+        fill_hop = comm.p2p_time(shard, scope="cp")
+        steady_hop = comm.p2p_time(0, scope="cp")
+        seconds = {
+            "sp_allgather": (
+                2 * comm.all_gather_time(full, p, scope="cp")
+                + 2 * comm.reduce_scatter_time(full, p, scope="cp")),
+            "ulysses": 8 * comm.all_to_all_time(shard, p, scope="cp"),
+            "ring": 4 * fill_hop + 4 * (p - 2) * steady_hop,
+        }
+    else:
+        seconds = {k: 0.0 for k in volumes}
+
+    excluded = {}
+    if model.num_heads % p:
+        excluded["ulysses"] = (
+            f"num_heads {model.num_heads} not divisible by group {p}")
+    candidates = [k for k in seconds if k not in excluded]
+    winner = min(candidates,
+                 key=lambda k: (seconds[k],
+                                CONTEXT_LAYOUT_PREFERENCE.index(k)))
+    return ContextLayoutChoice(
+        layout=winner, context_parallel=p, seconds_per_layer=seconds,
+        bytes_per_layer={k: v.bytes_per_layer for k, v in volumes.items()},
+        excluded=excluded)
+
+
 @dataclass(frozen=True)
 class FleetCapacity:
     """KV-token capacity of a serving fleet (:mod:`repro.fleet`).

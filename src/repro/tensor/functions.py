@@ -20,6 +20,7 @@ mapping to the paper's per-layer bytes (Table 2 terms):
 from __future__ import annotations
 
 import math
+import zlib
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -405,7 +406,9 @@ class MaskSource:
         key = (tag, tuple(shape))
         mask = self._cache.get(key)
         if mask is None:
-            tag_seed = (hash(tag) ^ self.seed) & 0x7FFFFFFF
+            # zlib.crc32, not hash(): the builtin is salted per process,
+            # which would make "deterministic" masks differ across runs.
+            tag_seed = (zlib.crc32(tag.encode()) ^ self.seed) & 0x7FFFFFFF
             rng = np.random.default_rng(tag_seed)
             mask = rng.random(shape) < self.keep_prob
             self._cache[key] = mask
@@ -758,6 +761,57 @@ class CausalMask(Function):
 
 def causal_mask(x: Tensor) -> Tensor:
     return apply(CausalMask(), x)
+
+
+class OffsetCausalMask(Function):
+    """Causal mask for *row-blocked* scores ``(..., s/w, s)``.
+
+    Ring attention (:mod:`repro.longctx`) computes each rank's query rows
+    against the full key sequence, so rank ``r``'s score panel holds
+    global rows ``[r*s/w, (r+1)*s/w)``: row ``i`` of rank ``r`` may attend
+    to columns ``<= r*s/w + i``, i.e. a tril shifted by ``r*s/w``.  With
+    ``w == 1`` this is exactly :class:`CausalMask`.  Like it, the mask is
+    a pure function of (shape, rank) — nothing is saved.
+    """
+
+    name = "offset_causal_mask"
+
+    MASKED_VALUE = CausalMask.MASKED_VALUE
+
+    @staticmethod
+    def _keep(shape, rank: int):
+        rows, cols = shape[-2:]
+        return np.tril(np.ones((rows, cols), dtype=bool), k=rank * rows)
+
+    def forward(self, fctx: FnCtx, x: ShardList) -> ShardList:
+        shape = bk.shape_of(x[0])
+        if len(shape) < 2 or shape[-1] != shape[-2] * len(x):
+            raise ShapeError(
+                f"offset causal mask needs (..., s/w, s) scores across "
+                f"w={len(x)} shards, got {shape}")
+        fctx.log_elementwise("offset_causal_mask",
+                             bytes_moved=2 * bk.size_of(x[0]))
+        out = []
+        for r, xi in enumerate(x):
+            if bk.is_abstract(xi):
+                out.append(bk.AbstractArray(xi.shape))
+            else:
+                out.append(np.where(self._keep(shape, r), xi,
+                                    self.MASKED_VALUE))
+        return out
+
+    def backward(self, fctx: FnCtx, grad: ShardList):
+        out = []
+        for r, g in enumerate(grad):
+            if bk.is_abstract(g):
+                out.append(bk.AbstractArray(bk.shape_of(g)))
+            else:
+                out.append(g * self._keep(bk.shape_of(g), r))
+        return (out,)
+
+
+def offset_causal_mask(x: Tensor) -> Tensor:
+    return apply(OffsetCausalMask(), x)
 
 
 # ---------------------------------------------------------------------------

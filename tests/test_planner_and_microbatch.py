@@ -64,6 +64,61 @@ class TestPlanner:
         assert option.recompute != Recompute.NONE
 
 
+class TestContextLayoutChooser:
+    """choose_context_layout: exposed-comm pricing picks the baseline for
+    short sequences and the O(s/p) layouts once the all-gather volume
+    dominates."""
+
+    def _model(self, seq, hidden=4096, heads=32):
+        from repro.config import ModelConfig
+        return ModelConfig(num_layers=2, hidden_size=hidden, num_heads=heads,
+                           seq_length=seq, vocab_size=64, name="chooser")
+
+    def test_short_sequences_keep_sp(self):
+        from repro.planner import choose_context_layout
+        choice = choose_context_layout(self._model(512), 1, 4)
+        assert choice.layout == "sp_allgather"
+
+    def test_long_sequences_never_sp(self):
+        from repro.planner import choose_context_layout
+        for p in (2, 4, 8):
+            choice = choose_context_layout(self._model(65536), 1, p)
+            assert choice.layout != "sp_allgather"
+            assert choice.seconds <= choice.seconds_per_layer["sp_allgather"]
+
+    def test_large_groups_pick_ulysses(self):
+        """At large p, ring's 4(p-1) launches outweigh Ulysses' shard
+        volume; at small p the volume wins and ring takes it."""
+        from repro.planner import choose_context_layout
+        assert choose_context_layout(self._model(16384, hidden=1024, heads=16),
+                                     1, 8).layout == "ulysses"
+        assert choose_context_layout(self._model(16384, hidden=1024, heads=16),
+                                     1, 2).layout == "ring"
+
+    def test_indivisible_heads_exclude_ulysses(self):
+        from repro.planner import choose_context_layout
+        choice = choose_context_layout(
+            self._model(65536, hidden=4092, heads=6), 1, 4)
+        assert "ulysses" in choice.excluded
+        assert choice.layout == "ring"
+
+    def test_single_rank_and_validation(self):
+        from repro.planner import choose_context_layout
+        choice = choose_context_layout(self._model(512), 1, 1)
+        assert choice.seconds == 0.0
+        with pytest.raises(PlanningError):
+            choose_context_layout(self._model(512), 1, 0)
+        with pytest.raises(PlanningError):
+            choose_context_layout(self._model(512), 1, 3)  # 512 % 3 != 0
+
+    def test_reports_closed_form_bytes(self):
+        from repro.longctx import ulysses_layer_bytes
+        from repro.planner import choose_context_layout
+        m = self._model(65536)
+        choice = choose_context_layout(m, 1, 4)
+        assert choice.bytes_per_layer["ulysses"] == ulysses_layer_bytes(m, 1, 4)
+
+
 class TestMicrobatchRecompute:
     def test_windows_shrink_along_pipeline(self):
         p = plan_microbatch_recompute(PAPER_CONFIGS["530B"])
